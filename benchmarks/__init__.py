@@ -1,0 +1,1 @@
+"""Benchmark / figure-reproduction harness (run with ``--benchmark-only``)."""

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark / figure-reproduction harness.
+
+Every paper figure has one benchmark module.  Each benchmark runs the
+corresponding experiment driver exactly once under ``pytest-benchmark``
+(``benchmark.pedantic(..., rounds=1)``) — the interesting output is the
+reproduced figure data and the shape assertions, not a timing
+distribution — and prints a paper-vs-measured table so that
+``pytest benchmarks/ --benchmark-only`` regenerates every figure of the
+evaluation section in one command.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(result) -> None:
+    """Print an experiment result's summary beneath the benchmark output."""
+    print()
+    print(result.summary())

@@ -1,0 +1,26 @@
+"""Ablation — period adaptation and enforcement granularity."""
+
+import pytest
+
+from repro.experiments.ablation_period import run_ablation_period
+
+from benchmarks.conftest import run_once, show
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_period_adaptation_and_enforcement(benchmark):
+    result = run_once(benchmark, run_ablation_period)
+    show(result)
+
+    # With a small proportion the heuristic grows the period above the
+    # 30 ms default to reduce quantisation error.
+    assert result.metric("adapted_period_us") > result.metric("default_period_us")
+    assert result.metric("low_rate_consumer_ppt") < 100
+
+    # Dispatch-granularity enforcement lets threads overrun their
+    # reservation; exact (Section 4.3) enforcement does not.
+    assert result.metric("overrun_dispatch_granularity") > -0.02
+    assert (
+        result.metric("overrun_exact_enforcement")
+        < result.metric("overrun_dispatch_granularity") + 0.01
+    )

@@ -1,0 +1,32 @@
+"""Ablation — PID gain sensitivity on the pulse workload."""
+
+import pytest
+
+from repro.experiments.ablation_pid import run_ablation_pid
+
+from benchmarks.conftest import run_once, show
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_pid_gain_tradeoff(benchmark):
+    result = run_once(benchmark, run_ablation_pid)
+    show(result)
+
+    low = result.metric("response_time_s:low")
+    default = result.metric("response_time_s:default")
+    high = result.metric("response_time_s:high")
+
+    # Higher gains respond faster.
+    assert high < default < low
+
+    # The default tuning lands in the paper's regime (~1/3 s) and stays
+    # well damped.
+    assert 0.05 <= default <= 0.6
+    assert result.metric("overshoot:default") < 0.3
+
+    # Aggressive gains trade overshoot for speed.
+    assert result.metric("overshoot:high") >= result.metric("overshoot:default")
+
+    # An integral-only controller still converges (the integral term is
+    # what holds the allocation), just more slowly than the default.
+    assert result.metric("response_time_s:integral_only") > default

@@ -1,0 +1,28 @@
+"""Ablation — overload squishing: fair share vs. weighted fair share."""
+
+import pytest
+
+from repro.experiments.ablation_squish import run_ablation_squish
+
+from benchmarks.conftest import run_once, show
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_squish_policies(benchmark):
+    result = run_once(benchmark, run_ablation_squish)
+    show(result)
+
+    # Plain fair share: equal shares regardless of importance ("this
+    # policy results in equal allocation of the CPU to all competing
+    # jobs over time").
+    assert result.metric("fair_top_to_base_ratio") == pytest.approx(1.0, abs=0.1)
+
+    # Weighted fair share: shares follow the importance ratio…
+    importance_ratio = result.metric("importance_ratio")
+    assert result.metric("weighted_top_to_base_ratio") == pytest.approx(
+        importance_ratio, rel=0.35
+    )
+
+    # …but importance is not priority: the least important hog still
+    # makes progress (no starvation).
+    assert result.metric("weighted_share_i1") > 0.02

@@ -1,0 +1,55 @@
+"""Figure 6 — controller responsiveness on an otherwise idle system.
+
+Paper: the consumer's allocation follows the producer's square-wave
+rate; the controller responds to a doubling of the production rate in
+roughly a third of a second; fill-level excursions grow with pulse
+width and recover to the half-full set point.
+"""
+
+import pytest
+
+from repro.experiments.figure6 import run_figure6
+
+from benchmarks.conftest import run_once, show
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_pulse_response(benchmark):
+    result = run_once(benchmark, run_figure6)
+    show(result)
+
+    # Response time in the same regime as the paper's ~1/3 s.
+    assert 0.05 <= result.metric("response_time_s") <= 0.6
+
+    # The consumer's progress tracks the producer's within a few percent.
+    assert result.metric("tracking_error_fraction") < 0.12
+
+    # The queue returns to (and hovers around) the half-full set point.
+    assert result.metric("fill_mean_abs_deviation") < 0.15
+
+    # Wider pulses push the fill level further from the set point
+    # ("the effect on fill level from pulses with smaller width is
+    # smaller").
+    narrow = result.metric("fill_peak_deviation_pulse0")
+    widest = result.metric("fill_peak_deviation_pulse2")
+    assert widest >= narrow
+
+    # On an idle system nothing is squished and nothing raises a
+    # quality exception.
+    assert result.metric("quality_exceptions") == 0
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_allocation_tracks_square_wave(benchmark):
+    result = run_once(benchmark, run_figure6)
+    times, alloc = result.series["consumer_allocation_ppt"]
+
+    def mean_between(t0, t1):
+        values = [v for t, v in zip(times, alloc) if t0 <= t < t1]
+        return sum(values) / len(values)
+
+    # During the widest rising pulse (9.3 s – 12.3 s with the default
+    # schedule) the allocation is roughly double the low-rate baseline.
+    baseline = mean_between(7.5, 9.0)
+    pulsed = mean_between(10.0, 12.0)
+    assert pulsed > 1.5 * baseline

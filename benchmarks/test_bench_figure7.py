@@ -1,0 +1,47 @@
+"""Figure 7 — controller response under competing load.
+
+Paper: with a CPU hog competing, the controller squishes the hog and
+the consumer (never the producer, which holds a reservation); the
+consumer still tracks the producer; the hog's and consumer's
+allocations move in opposition.
+"""
+
+import pytest
+
+from repro.experiments.figure7 import run_figure7
+
+from benchmarks.conftest import run_once, show
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_response_under_load(benchmark):
+    result = run_once(benchmark, run_figure7)
+    show(result)
+
+    # The producer's reservation is never squished.
+    assert result.metric("producer_allocation_min_ppt") == result.metric(
+        "producer_allocation_max_ppt"
+    )
+
+    # Total allocation respects the overload threshold.
+    assert result.metric("max_total_allocation_ppt") <= result.metric(
+        "overload_threshold_ppt"
+    ) + 10
+
+    # The consumer still tracks the producer despite the load.
+    assert result.metric("tracking_error_fraction") < 0.15
+
+    # The hog and the consumer trade allocation (strong anti-correlation),
+    # which is the oscillation the paper describes.
+    assert result.metric("consumer_hog_allocation_correlation") < -0.5
+
+    # The hog still gets a meaningful share (no starvation) but less
+    # than the consumer needs at its peak.
+    assert result.metric("hog_cpu_fraction") > 0.05
+    assert result.metric("consumer_cpu_fraction") > result.metric("hog_cpu_fraction")
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_response_time_similar_to_idle_case(benchmark):
+    result = run_once(benchmark, run_figure7)
+    assert 0.05 <= result.metric("response_time_s") <= 0.8

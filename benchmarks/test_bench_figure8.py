@@ -1,0 +1,44 @@
+"""Figure 8 — dispatch overhead vs. dispatcher frequency.
+
+Paper: available CPU (normalised to a 10 ms time slice) falls off as
+the dispatcher frequency rises, with a knee around 4000 Hz where the
+overhead is about 2.7 %.
+"""
+
+import pytest
+
+from repro.experiments.figure8 import run_figure8
+
+from benchmarks.conftest import run_once, show
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_dispatch_overhead_curve(benchmark):
+    result = run_once(benchmark, run_figure8)
+    show(result)
+
+    # Knee in the right decade, overhead at the knee close to the paper's.
+    assert 2_000 <= result.metric("knee_frequency_hz") <= 6_000
+    assert result.metric("overhead_at_knee") == pytest.approx(0.027, abs=0.01)
+
+    # The curve is (weakly) monotonically decreasing and normalised to 1
+    # at the 100 Hz baseline.
+    frequencies, normalised = result.series["available_cpu_normalised_vs_hz"]
+    assert normalised[0] == pytest.approx(1.0, abs=0.01)
+    assert all(b <= a + 0.005 for a, b in zip(normalised, normalised[1:]))
+    # Meaningful degradation by 10 kHz (the paper's right-hand edge).
+    assert normalised[-1] < 0.95
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_constant_cost_model_knee_shifts_down(benchmark):
+    """With a purely constant per-dispatch cost the curve is gentler and
+    the knee detector lands at or below the calibrated model's knee."""
+    result = run_once(
+        benchmark,
+        run_figure8,
+        dispatch_cost_us=6.75,
+        dispatch_cost_quadratic_us=0.0,
+        sim_seconds=1.0,
+    )
+    assert result.metric("knee_frequency_hz") <= 4_000

@@ -1,0 +1,38 @@
+"""Extension — priority inversion (Mars Pathfinder scenario).
+
+Section 2 motivation / Section 4.4 claim: under the real-rate scheme
+"starvation, and thus priority inversion, cannot occur", whereas plain
+fixed priorities allow an effectively unbounded inversion.
+"""
+
+import pytest
+
+from repro.experiments.inversion import run_inversion_comparison
+
+from benchmarks.conftest import run_once, show
+
+
+@pytest.mark.benchmark(group="inversion")
+def test_inversion_comparison(benchmark):
+    result = run_once(benchmark, run_inversion_comparison)
+    show(result)
+
+    deadline = result.metric("deadline_s")
+
+    # Plain fixed priorities: the inversion is unbounded — the high task
+    # stops completing iterations and its in-flight latency grows to the
+    # length of the run.
+    assert result.metric("fixed_priority_worst_latency_s") > 20 * deadline
+    assert result.metric("fixed_priority_iterations") <= 2
+
+    # Priority inheritance (the Pathfinder fix) bounds the latency.
+    assert result.metric("priority_inheritance_worst_latency_s") <= 2 * deadline
+    assert result.metric("priority_inheritance_miss_rate") < 0.05
+
+    # The feedback-driven allocator bounds it too, with no mutex-aware
+    # mechanism at all, because the mutex holder is never starved.
+    assert result.metric("real_rate_worst_latency_s") <= 2 * deadline
+    assert result.metric("real_rate_miss_rate") < 0.05
+    assert result.metric("real_rate_iterations") >= 0.9 * result.metric(
+        "priority_inheritance_iterations"
+    )

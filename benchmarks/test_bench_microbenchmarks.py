@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrate and the controller.
+
+These are conventional timing benchmarks (many rounds) that track the
+cost of the two hot paths: simulating one second of a loaded system,
+and one controller update over a large thread population — the
+quantity Figure 5 is about, here measured directly on the Python
+implementation.
+"""
+
+import pytest
+
+from repro.core.allocator import ProportionAllocator
+from repro.core.config import ControllerConfig
+from repro.core.taxonomy import ThreadSpec
+from repro.ipc.registry import SymbioticRegistry
+from repro.sched.rbs import ReservationScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.requests import Compute
+from repro.sim.thread import SchedulingPolicy
+from repro.system import build_real_rate_system
+from repro.workloads.pulse import PulsePipeline, PulseSchedule
+
+
+def _spin(env):
+    while True:
+        yield Compute(1_000)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_simulate_one_second_pulse_pipeline(benchmark):
+    """Wall-clock cost of simulating 1 s of the Figure 6 pipeline."""
+
+    def run():
+        system = build_real_rate_system()
+        PulsePipeline.attach(
+            system, schedule=PulseSchedule([], default_rate=0.01)
+        )
+        system.run_for(1_000_000)
+        return system.kernel.dispatch_count
+
+    dispatches = benchmark(run)
+    assert dispatches > 200
+
+
+@pytest.mark.benchmark(group="micro")
+def test_controller_update_cost_40_threads(benchmark):
+    """Cost of one allocator update over 40 controlled threads."""
+    scheduler = ReservationScheduler()
+    kernel = Kernel(scheduler, charge_dispatch_overhead=False)
+    registry = SymbioticRegistry()
+    allocator = ProportionAllocator(scheduler, registry, ControllerConfig())
+    for i in range(40):
+        thread = kernel.spawn(f"t{i}", _spin)
+        allocator.register(thread, ThreadSpec())
+    clock = {"now": 0}
+
+    def update():
+        clock["now"] += 10_000
+        return allocator.update(clock["now"])
+
+    decisions = benchmark(update)
+    assert len(decisions) == 40
+
+
+@pytest.mark.benchmark(group="micro")
+def test_dispatch_throughput(benchmark):
+    """Raw dispatch rate of the kernel with ten runnable threads."""
+
+    def run():
+        kernel = Kernel(ReservationScheduler(), charge_dispatch_overhead=False)
+        for i in range(10):
+            kernel.spawn(f"hog{i}", _spin, policy=SchedulingPolicy.BEST_EFFORT)
+        kernel.run_for(500_000)
+        return kernel.dispatch_count
+
+    dispatches = benchmark(run)
+    assert dispatches >= 490

@@ -1,0 +1,48 @@
+"""Figure 2 (behavioural) — the controller's four thread classes.
+
+Not a measured figure in the paper, but the taxonomy's behavioural
+claims are load-bearing: real-time threads keep their reservation
+untouched, aperiodic real-time threads get the 30 ms default period,
+real-rate threads converge to their measured need, and miscellaneous
+threads soak up the slack without starving anyone.
+"""
+
+import pytest
+
+from repro.experiments.taxonomy import run_taxonomy
+
+from benchmarks.conftest import run_once, show
+
+
+@pytest.mark.benchmark(group="taxonomy")
+def test_taxonomy_behaviour(benchmark):
+    result = run_once(benchmark, run_taxonomy)
+    show(result)
+
+    # Real-time: exactly the requested reservation.
+    assert result.metric("real_time_allocation_ppt") == 250
+    assert result.metric("real_time_period_us") == 20_000
+    assert result.metric("class_is_real_time:pulse.producer") == 1.0
+
+    # Aperiodic real-time: requested proportion, default 30 ms period.
+    assert result.metric("aperiodic_allocation_ppt") == 150
+    assert result.metric("aperiodic_period_us") == 30_000
+
+    # Real-rate: the consumer converged near its need (producer's byte
+    # rate at 25% of the CPU needs roughly a quarter of the CPU, plus
+    # the dispatch-quantisation overrun).
+    assert 150 <= result.metric("real_rate_allocation_ppt") <= 500
+
+    # Miscellaneous: soaks up remaining capacity but is bounded by the
+    # overload threshold and cannot starve the others.
+    assert result.metric("misc_cpu_share") > 0.1
+    assert result.metric("real_time_cpu_share") == pytest.approx(0.25, abs=0.1)
+
+    # Everybody together stays within the machine.
+    total_share = (
+        result.metric("real_time_cpu_share")
+        + result.metric("real_rate_cpu_share")
+        + result.metric("aperiodic_cpu_share")
+        + result.metric("misc_cpu_share")
+    )
+    assert total_share <= 1.0

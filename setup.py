@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+the package can be installed editable (``pip install -e .``) on
+environments whose setuptools predates PEP 660 editable-install support
+(it falls back to the classic ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

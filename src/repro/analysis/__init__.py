@@ -1,0 +1,36 @@
+"""Analysis utilities.
+
+Turn the tracer's raw ``(time, value)`` series into the quantities the
+paper reports: linear fits with R² (Figure 5), progress rates from
+cumulative byte counters and step-response times (Figure 6), overhead
+fractions and knee locations (Figure 8), plus small helpers for
+rendering results as text tables and ASCII sparklines so the examples
+can show the figures' shapes without a plotting dependency.
+"""
+
+from repro.analysis.regression import LinearFit, linear_fit
+from repro.analysis.response import StepResponse, step_response
+from repro.analysis.results import ExperimentResult, format_table
+from repro.analysis.series import (
+    differentiate_series,
+    find_knee,
+    mean_absolute_deviation,
+    rate_from_cumulative,
+    resample,
+    sparkline,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "LinearFit",
+    "StepResponse",
+    "differentiate_series",
+    "find_knee",
+    "format_table",
+    "linear_fit",
+    "mean_absolute_deviation",
+    "rate_from_cumulative",
+    "resample",
+    "sparkline",
+    "step_response",
+]

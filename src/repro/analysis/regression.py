@@ -1,0 +1,63 @@
+"""Ordinary least-squares linear regression.
+
+Figure 5's caption reports its overhead measurements as a fitted line
+("y = .00066x + .00057, with a coefficient of determination of .999"),
+so the reproduction needs slope, intercept and R².  Implemented
+directly (no numpy dependency in the core library) since the inputs are
+tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares line fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Fit ``y = slope * x + intercept`` by ordinary least squares.
+
+    Raises ``ValueError`` for fewer than two points or when all x
+    values are identical (the slope would be undefined).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"x and y must have the same length, got {len(xs)} and {len(ys)}"
+        )
+    n = len(xs)
+    if n < 2:
+        raise ValueError(f"need at least two points to fit a line, got {n}")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("all x values are identical; slope is undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    if ss_tot == 0:
+        # A perfectly flat dependent variable is perfectly explained by
+        # the (flat) fitted line.
+        r_squared = 1.0
+    else:
+        r_squared = 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared, n=n)
+
+
+__all__ = ["LinearFit", "linear_fit"]

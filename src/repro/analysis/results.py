@@ -1,0 +1,88 @@
+"""Experiment result records and text-table rendering.
+
+Every experiment driver returns an :class:`ExperimentResult` carrying
+the figure/table identifier, the headline metrics, the paper's reported
+values for comparison, and the raw series needed to draw the figure.
+``format_table`` renders a list of ``(label, paper, measured)`` rows as
+a plain-text table for the examples and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced experiment's outputs."""
+
+    experiment_id: str
+    title: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    paper_values: dict[str, float] = field(default_factory=dict)
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def metric(self, name: str) -> float:
+        """Look up a metric, with a clear error when missing."""
+        if name not in self.metrics:
+            raise KeyError(
+                f"experiment {self.experiment_id!r} has no metric {name!r}; "
+                f"available: {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+    def add_series(self, name: str, times: Sequence[float], values: Sequence[float]) -> None:
+        """Store a (times, values) series for later plotting/inspection."""
+        self.series[name] = (list(times), list(values))
+
+    def comparison_rows(self) -> list[tuple[str, Optional[float], float]]:
+        """Rows of (metric, paper value or None, measured value)."""
+        rows: list[tuple[str, Optional[float], float]] = []
+        for name, measured in self.metrics.items():
+            rows.append((name, self.paper_values.get(name), measured))
+        return rows
+
+    def summary(self) -> str:
+        """Human-readable one-block summary."""
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        lines.append(format_table(self.comparison_rows()))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[tuple[str, Optional[float], float]],
+    headers: tuple[str, str, str] = ("metric", "paper", "measured"),
+) -> str:
+    """Render (label, paper, measured) rows as an aligned text table."""
+    table_rows = [headers] + [
+        (label, _format_value(paper), _format_value(measured))
+        for label, paper, measured in rows
+    ]
+    widths = [max(len(str(row[col])) for row in table_rows) for col in range(3)]
+    lines = []
+    for i, row in enumerate(table_rows):
+        line = "  ".join(str(cell).ljust(widths[col]) for col, cell in enumerate(row))
+        lines.append("  " + line)
+        if i == 0:
+            lines.append("  " + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,454 @@
+"""The adaptive controller (Figure 1's "Controller" box).
+
+:class:`ProportionAllocator` closes the feedback loop:
+
+1. **Monitor progress** — for every controlled thread it samples the
+   symbiotic registry (queue fill levels and roles) or falls back to
+   the miscellaneous constant-pressure heuristic.
+2. **Estimate** — the per-thread :class:`ProportionEstimator` turns the
+   pressure and last-interval CPU usage into a desired proportion
+   (Figure 4); real-time and aperiodic real-time threads skip this and
+   use their specified proportion.
+3. **Resolve overload** — desired allocations are summed; if they
+   exceed the overload threshold, real-rate and miscellaneous proposals
+   are squished (fair share or weighted fair share), and quality
+   exceptions are raised for threads whose queues have saturated.
+4. **Actuate** — the resulting (proportion, period) pairs are written
+   into the reservation scheduler.
+
+The allocator is deliberately independent of the simulation kernel: it
+only needs a scheduler that accepts reservations, a registry to read
+fill levels from, and a clock value passed into :meth:`update`.  The
+:class:`~repro.core.driver.ControllerDriver` wires it to a simulated
+system and models its own CPU cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.config import PROPORTION_SCALE, ControllerConfig
+from repro.core.errors import AdmissionError, ControllerError, QualityException
+from repro.core.estimator import ProportionEstimator
+from repro.core.overload import (
+    SquishPolicy,
+    SquishRequest,
+    WeightedFairShareSquish,
+    check_admission,
+)
+from repro.core.period import PeriodEstimator
+from repro.core.taxonomy import ThreadClass, ThreadSpec, classify
+from repro.ipc.registry import SymbioticRegistry
+from repro.monitor.progress import ConstantPressureSource, ProgressSampler
+from repro.monitor.usage import UsageMonitor
+from repro.sched.rbs import ReservationScheduler
+from repro.sim.thread import SimThread
+
+
+@dataclass
+class AllocationDecision:
+    """What the controller decided for one thread in one period."""
+
+    thread: SimThread
+    thread_class: ThreadClass
+    pressure_raw: Optional[float]
+    cumulative_pressure: Optional[float]
+    desired_ppt: int
+    granted_ppt: int
+    period_us: int
+    squished: bool = False
+    reclaimed: bool = False
+
+    @property
+    def granted_fraction(self) -> float:
+        """Granted proportion as a fraction of the CPU."""
+        return self.granted_ppt / PROPORTION_SCALE
+
+
+@dataclass
+class _ControlledThread:
+    """Internal per-thread controller state."""
+
+    thread: SimThread
+    spec: ThreadSpec
+    estimator: ProportionEstimator
+    sampler: ProgressSampler
+    period_estimator: Optional[PeriodEstimator] = None
+    current_ppt: int = 0
+    current_period_us: int = 0
+    last_class: Optional[ThreadClass] = None
+
+
+class ProportionAllocator:
+    """Feedback-driven assignment of proportion and period.
+
+    Parameters
+    ----------
+    scheduler:
+        The reservation scheduler to actuate.
+    registry:
+        The symbiotic-interface registry to read progress from.
+    config:
+        Controller tunables.
+    squish_policy:
+        Overload policy; defaults to weighted fair share (which equals
+        plain fair share when all importances are 1, the paper's base
+        policy).
+    """
+
+    def __init__(
+        self,
+        scheduler: ReservationScheduler,
+        registry: SymbioticRegistry,
+        config: Optional[ControllerConfig] = None,
+        squish_policy: Optional[SquishPolicy] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.registry = registry
+        self.config = config if config is not None else ControllerConfig()
+        self.squish_policy = (
+            squish_policy
+            if squish_policy is not None
+            else WeightedFairShareSquish(self.config.min_proportion_ppt)
+        )
+        self.usage_monitor = UsageMonitor()
+        self.misc_pressure_source = ConstantPressureSource(self.config.misc_pressure)
+        self.quality_exceptions: list[QualityException] = []
+        self.updates = 0
+        self._controlled: dict[int, _ControlledThread] = {}
+
+    # ------------------------------------------------------------------
+    # registration (what the paper's jobs do explicitly)
+    # ------------------------------------------------------------------
+    def register(self, thread: SimThread, spec: Optional[ThreadSpec] = None) -> None:
+        """Place ``thread`` under control of the allocator.
+
+        Real-time specs (proportion and period both given) go through
+        admission control and are actuated immediately, because a
+        reservation must hold from the moment it is accepted, not from
+        the next controller tick.
+        """
+        if thread.tid in self._controlled:
+            raise ControllerError(f"thread {thread.name!r} is already controlled")
+        spec = spec if spec is not None else ThreadSpec()
+        if spec.specifies_proportion:
+            check_admission(
+                self.config,
+                self._real_time_total_ppt(),
+                spec.proportion_ppt,
+                thread.name,
+            )
+        state = _ControlledThread(
+            thread=thread,
+            spec=spec,
+            estimator=ProportionEstimator(self.config),
+            sampler=ProgressSampler(
+                thread, self.registry, setpoint=self.config.setpoint_fill
+            ),
+        )
+        if self.config.adapt_period:
+            state.period_estimator = PeriodEstimator(
+                self.config,
+                self.scheduler.dispatch_interval_us,
+                initial_period_us=spec.period_us,
+            )
+        self._controlled[thread.tid] = state
+        if spec.specifies_proportion:
+            period = spec.period_us or self.config.default_period_us
+            self._actuate(state, spec.proportion_ppt, period)
+
+    def unregister(self, thread: SimThread) -> None:
+        """Remove ``thread`` from control (its reservation is cleared)."""
+        state = self._controlled.pop(thread.tid, None)
+        if state is None:
+            return
+        self.usage_monitor.forget(thread)
+        if thread.state.is_live:
+            self.scheduler.clear_reservation(thread)
+
+    def controlled_threads(self) -> list[SimThread]:
+        """All threads currently under control."""
+        return [state.thread for state in self._controlled.values()]
+
+    def decision_count(self) -> int:
+        """Number of threads the next update will decide for."""
+        return len(self._controlled)
+
+    def spec_for(self, thread: SimThread) -> ThreadSpec:
+        """The spec a thread registered with."""
+        state = self._controlled.get(thread.tid)
+        if state is None:
+            raise ControllerError(f"thread {thread.name!r} is not controlled")
+        return state.spec
+
+    def _real_time_total_ppt(self) -> int:
+        total = 0
+        for state in self._controlled.values():
+            if state.spec.specifies_proportion and state.thread.state.is_live:
+                total += state.spec.proportion_ppt
+        return total
+
+    # ------------------------------------------------------------------
+    # the controller period
+    # ------------------------------------------------------------------
+    def update(self, now: int) -> list[AllocationDecision]:
+        """Run one controller period at virtual time ``now``.
+
+        Returns the decisions made, in registration order, after
+        actuating them on the scheduler.
+        """
+        dt = self.config.controller_period_s
+        self.updates += 1
+        self._drop_exited()
+
+        decisions: list[AllocationDecision] = []
+        for state in self._controlled.values():
+            decisions.append(self._decide(state, now, dt))
+
+        self._resolve_overload(decisions, now)
+
+        for decision in decisions:
+            state = self._controlled[decision.thread.tid]
+            self._actuate(state, decision.granted_ppt, decision.period_us, now=now)
+        return decisions
+
+    # ------------------------------------------------------------------
+    # per-thread decision
+    # ------------------------------------------------------------------
+    def _decide(
+        self, state: _ControlledThread, now: int, dt: float
+    ) -> AllocationDecision:
+        spec = state.spec
+        thread = state.thread
+        has_metric = self.registry.has_progress_metric(thread)
+        thread_class = classify(spec, has_metric)
+        state.last_class = thread_class
+
+        if thread_class is ThreadClass.REAL_TIME:
+            # Keep the reservation exactly as specified; usage is still
+            # sampled so the monitor's bookkeeping stays continuous.
+            self.usage_monitor.sample(thread, now, state.current_ppt)
+            return AllocationDecision(
+                thread=thread,
+                thread_class=thread_class,
+                pressure_raw=None,
+                cumulative_pressure=None,
+                desired_ppt=spec.proportion_ppt,
+                granted_ppt=spec.proportion_ppt,
+                period_us=spec.period_us,
+            )
+
+        if thread_class is ThreadClass.APERIODIC_REAL_TIME:
+            self.usage_monitor.sample(thread, now, state.current_ppt)
+            period = self._period_for(state, thread_class, fill_level=None)
+            return AllocationDecision(
+                thread=thread,
+                thread_class=thread_class,
+                pressure_raw=None,
+                cumulative_pressure=None,
+                desired_ppt=spec.proportion_ppt,
+                granted_ppt=spec.proportion_ppt,
+                period_us=period,
+            )
+
+        # Real-rate and miscellaneous threads go through the estimator.
+        if thread_class is ThreadClass.REAL_RATE:
+            sample = state.sampler.sample()
+            pressure_raw = sample.raw if sample is not None else 0.0
+            fill_level = self._representative_fill(state)
+        else:
+            sample = self.misc_pressure_source.sample()
+            pressure_raw = sample.raw
+            fill_level = None
+
+        usage = self.usage_monitor.sample(thread, now, state.current_ppt)
+        estimate = state.estimator.estimate(
+            pressure_raw, usage, state.current_ppt, dt
+        )
+        period = self._period_for(state, thread_class, fill_level)
+        desired_ppt = estimate.desired_ppt
+        if spec.interactive:
+            # Interactive jobs: "assigning them a small period and
+            # estimating their proportion by measuring the amount of
+            # time they typically run before blocking".  Their input
+            # queues are empty almost all the time, so the fill-level
+            # feedback alone would park them at the floor; the
+            # run-before-block heuristic reserves enough to serve one
+            # typical burst within each (small) period.
+            burst_us = self.usage_monitor.run_before_block_us(thread)
+            if burst_us > 0:
+                heuristic_ppt = int(
+                    round(1.5 * burst_us * PROPORTION_SCALE / period)
+                )
+                heuristic_ppt = min(self.config.max_proportion_ppt, heuristic_ppt)
+                desired_ppt = max(desired_ppt, heuristic_ppt)
+        decision = AllocationDecision(
+            thread=thread,
+            thread_class=thread_class,
+            pressure_raw=pressure_raw,
+            cumulative_pressure=estimate.cumulative_pressure,
+            desired_ppt=desired_ppt,
+            granted_ppt=desired_ppt,
+            period_us=period,
+            reclaimed=estimate.reclaimed,
+        )
+        # A quality exception is only warranted when a queue saturated in
+        # the direction that means this thread is falling behind (signed
+        # pressure at its maximum): a consumer's queue completely full,
+        # or a producer's queue completely empty.
+        if sample is not None and sample.per_channel:
+            behind = max(sample.per_channel.values())
+            if behind >= 0.45 and (sample.saturated_full or sample.saturated_empty):
+                saturation = "full" if sample.saturated_full else "empty"
+                decision._saturation = saturation  # type: ignore[attr-defined]
+        return decision
+
+    def _representative_fill(self, state: _ControlledThread) -> Optional[float]:
+        linkages = state.sampler.linkages()
+        if not linkages:
+            return None
+        # Average across the thread's queues; a single-queue thread (the
+        # common case) just reports that queue's fill level.
+        return sum(l.channel.fill_level() for l in linkages) / len(linkages)
+
+    def _period_for(
+        self,
+        state: _ControlledThread,
+        thread_class: ThreadClass,
+        fill_level: Optional[float],
+    ) -> int:
+        spec = state.spec
+        if spec.interactive:
+            return self.config.interactive_period_us
+        if spec.specifies_period:
+            return spec.period_us
+        if state.period_estimator is not None and thread_class is ThreadClass.REAL_RATE:
+            proportion = state.current_ppt or self.config.min_proportion_ppt
+            return state.period_estimator.update(proportion, fill_level).period_us
+        return self.config.default_period_us
+
+    # ------------------------------------------------------------------
+    # overload resolution
+    # ------------------------------------------------------------------
+    def _resolve_overload(
+        self, decisions: list[AllocationDecision], now: int
+    ) -> None:
+        """Fit the proposed allocations under the overload threshold.
+
+        Real-time (and aperiodic real-time) reservations are protected.
+        The remaining capacity is handed out in two tiers, which is what
+        produces the Figure 7 behaviour where the CPU hog "effectively
+        loses allocation to the consumer":
+
+        1. real-rate threads — whose desired allocation reflects a
+           *measured* need — are satisfied first, squished
+           proportionally among themselves only if they alone exceed
+           the available capacity;
+        2. miscellaneous threads — whose constant pseudo-pressure just
+           says "give me whatever is spare" — share the residual via
+           the (weighted) fair-share squish policy, never dropping
+           below the minimum proportion (starvation freedom).
+        """
+        total_desired = sum(d.desired_ppt for d in decisions)
+        threshold = self.config.overload_threshold_ppt
+        if total_desired <= threshold:
+            return
+
+        protected = sum(
+            d.desired_ppt for d in decisions if not d.thread_class.is_squishable
+        )
+        available = max(0, threshold - protected)
+        real_rate = [
+            d for d in decisions if d.thread_class is ThreadClass.REAL_RATE
+        ]
+        misc = [
+            d for d in decisions if d.thread_class is ThreadClass.MISCELLANEOUS
+        ]
+
+        real_rate_total = sum(d.desired_ppt for d in real_rate)
+        if real_rate_total > available:
+            self._apply_squish(real_rate, available, now)
+            misc_available = 0
+        else:
+            misc_available = available - real_rate_total
+        self._apply_squish(misc, misc_available, now)
+
+    def _apply_squish(
+        self,
+        decisions: list[AllocationDecision],
+        available_ppt: int,
+        now: int,
+    ) -> None:
+        if not decisions:
+            return
+        requests = [
+            SquishRequest(
+                key=d.thread.tid,
+                desired_ppt=d.desired_ppt,
+                importance=self._controlled[d.thread.tid].spec.importance,
+            )
+            for d in decisions
+        ]
+        grants = self.squish_policy.squish(requests, max(0, available_ppt))
+        for decision in decisions:
+            granted = grants.get(decision.thread.tid, decision.desired_ppt)
+            if granted < decision.desired_ppt:
+                decision.granted_ppt = max(self.config.min_proportion_ppt, granted)
+                decision.squished = True
+                self._maybe_quality_exception(decision, now)
+
+    def _maybe_quality_exception(self, decision: AllocationDecision, now: int) -> None:
+        saturation = getattr(decision, "_saturation", None)
+        if saturation is None:
+            return
+        exception = QualityException(
+            time_us=now,
+            thread=decision.thread,
+            reason=f"queue {saturation} while overloaded",
+            desired_ppt=decision.desired_ppt,
+            granted_ppt=decision.granted_ppt,
+        )
+        self.quality_exceptions.append(exception)
+        callback = self._controlled[decision.thread.tid].spec.quality_callback
+        if callback is not None:
+            callback(exception)
+
+    # ------------------------------------------------------------------
+    # actuation
+    # ------------------------------------------------------------------
+    def _actuate(
+        self,
+        state: _ControlledThread,
+        proportion_ppt: int,
+        period_us: int,
+        now: Optional[int] = None,
+    ) -> None:
+        self.scheduler.set_reservation(
+            state.thread, proportion_ppt, period_us, now=now
+        )
+        state.current_ppt = proportion_ppt
+        state.current_period_us = period_us
+
+    def _drop_exited(self) -> None:
+        gone = [tid for tid, s in self._controlled.items() if not s.thread.state.is_live]
+        for tid in gone:
+            state = self._controlled.pop(tid)
+            self.usage_monitor.forget(state.thread)
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    def current_allocation_ppt(self, thread: SimThread) -> int:
+        """The proportion currently actuated for ``thread``."""
+        state = self._controlled.get(thread.tid)
+        if state is None:
+            raise ControllerError(f"thread {thread.name!r} is not controlled")
+        return state.current_ppt
+
+    def total_allocated_ppt(self) -> int:
+        """Sum of currently actuated proportions across controlled threads."""
+        return sum(s.current_ppt for s in self._controlled.values())
+
+
+__all__ = ["AllocationDecision", "ProportionAllocator"]

@@ -1,0 +1,57 @@
+"""Controller-level errors and notifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.thread import SimThread
+
+
+class ControllerError(Exception):
+    """Base class for controller configuration and usage errors."""
+
+
+class AdmissionError(ControllerError):
+    """A real-time reservation request was rejected.
+
+    The paper's controller "performs admission control by rejecting new
+    real-time jobs which request more CPU than is currently available".
+    """
+
+    def __init__(self, requested_ppt: int, available_ppt: int, thread_name: str) -> None:
+        self.requested_ppt = requested_ppt
+        self.available_ppt = available_ppt
+        self.thread_name = thread_name
+        super().__init__(
+            f"admission control rejected reservation of {requested_ppt} ppt for "
+            f"{thread_name!r}: only {available_ppt} ppt available"
+        )
+
+
+@dataclass(frozen=True)
+class QualityException:
+    """Notification that a job cannot be given the CPU it needs.
+
+    Raised (as an event record, not a Python exception) when the system
+    is overloaded and a real-rate thread's queue has saturated — the
+    signal the paper uses to let applications "adapt by lowering
+    [their] resource requirements".
+    """
+
+    time_us: int
+    thread: "SimThread"
+    reason: str
+    desired_ppt: int
+    granted_ppt: int
+
+    def __str__(self) -> str:
+        return (
+            f"QualityException(t={self.time_us}us, thread={self.thread.name!r}, "
+            f"reason={self.reason!r}, desired={self.desired_ppt}, "
+            f"granted={self.granted_ppt})"
+        )
+
+
+__all__ = ["AdmissionError", "ControllerError", "QualityException"]

@@ -1,0 +1,161 @@
+"""Overload handling: admission control and squishing.
+
+"When the sum of the desired [allocations] is greater than the amount
+of available CPU, the controller must somehow reduce the allocations to
+the threads."  Two mechanisms, as in the paper:
+
+* **Admission control** for real-time reservations: a new request is
+  rejected if it would push the real-time total over the admission
+  threshold (:func:`check_admission`).
+* **Squishing** for real-rate and miscellaneous threads: their proposed
+  allocations are scaled down so that, together with the protected
+  real-time reservations, the total fits under the overload threshold.
+  :class:`FairShareSquish` scales each proposal proportionally to its
+  size, which "results in equal allocation of the CPU to all competing
+  jobs over time"; :class:`WeightedFairShareSquish` additionally weights
+  each proposal by the thread's importance — a more important job gets
+  a larger share of the shortfall absorbed by others, but (unlike a
+  priority) it can never starve a less important job because every job
+  keeps at least the minimum proportion.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.config import ControllerConfig
+from repro.core.errors import AdmissionError
+
+
+@dataclass
+class SquishRequest:
+    """One squishable thread's proposal entering the squish step."""
+
+    key: int
+    desired_ppt: int
+    importance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.desired_ppt < 0:
+            raise ValueError(
+                f"desired proportion cannot be negative, got {self.desired_ppt}"
+            )
+        if self.importance <= 0:
+            raise ValueError(f"importance must be positive, got {self.importance}")
+
+
+class SquishPolicy(ABC):
+    """Strategy for distributing a limited budget over proposals."""
+
+    def __init__(self, min_proportion_ppt: int = 1) -> None:
+        if min_proportion_ppt < 0:
+            raise ValueError(
+                f"minimum proportion cannot be negative, got {min_proportion_ppt}"
+            )
+        self.min_proportion_ppt = min_proportion_ppt
+
+    @abstractmethod
+    def weights(self, requests: list[SquishRequest]) -> list[float]:
+        """Relative weights used to share the available budget."""
+
+    def squish(
+        self, requests: list[SquishRequest], available_ppt: int
+    ) -> dict[int, int]:
+        """Scale the proposals down into ``available_ppt``.
+
+        Returns a mapping from request key to granted proportion.  If
+        the proposals already fit, they are returned unchanged.  Each
+        grant is capped at its proposal (squishing never gives a thread
+        more than it asked for) and floored at the minimum proportion
+        (starvation freedom), even if the floor technically exceeds the
+        budget — the overload threshold's reserve capacity absorbs that.
+        """
+        if not requests:
+            return {}
+        total_desired = sum(r.desired_ppt for r in requests)
+        if total_desired <= available_ppt:
+            return {r.key: r.desired_ppt for r in requests}
+
+        available = max(0, available_ppt)
+        grants: dict[int, int] = {}
+        remaining = list(requests)
+        # Iterative water-filling: grant proportionally to weight, cap at
+        # the proposal, and redistribute leftover budget from capped
+        # requests to the rest.
+        while remaining and available > 0:
+            weights = self.weights(remaining)
+            total_weight = sum(weights)
+            if total_weight <= 0:
+                break
+            capped: list[SquishRequest] = []
+            next_round: list[SquishRequest] = []
+            used = 0
+            for request, weight in zip(remaining, weights):
+                share = int(available * weight / total_weight)
+                if share >= request.desired_ppt:
+                    grants[request.key] = request.desired_ppt
+                    used += request.desired_ppt
+                    capped.append(request)
+                else:
+                    next_round.append(request)
+            if not capped:
+                # Nobody capped: hand out the proportional shares directly.
+                for request, weight in zip(remaining, weights):
+                    grants[request.key] = int(available * weight / total_weight)
+                remaining = []
+                available = 0
+                break
+            available -= used
+            remaining = next_round
+        for request in remaining:
+            grants.setdefault(request.key, 0)
+        # Starvation freedom: every thread keeps at least the minimum.
+        for request in requests:
+            floor = min(self.min_proportion_ppt, request.desired_ppt)
+            if grants.get(request.key, 0) < floor:
+                grants[request.key] = floor
+        return grants
+
+
+class FairShareSquish(SquishPolicy):
+    """Scale every proposal by the same factor (plain fair share)."""
+
+    def weights(self, requests: list[SquishRequest]) -> list[float]:
+        return [float(r.desired_ppt) for r in requests]
+
+
+class WeightedFairShareSquish(SquishPolicy):
+    """Scale proposals by importance-weighted size (weighted fair share)."""
+
+    def weights(self, requests: list[SquishRequest]) -> list[float]:
+        return [float(r.desired_ppt) * r.importance for r in requests]
+
+
+def check_admission(
+    config: ControllerConfig,
+    existing_real_time_ppt: int,
+    requested_ppt: int,
+    thread_name: str,
+) -> None:
+    """Admission control for a new real-time reservation.
+
+    Raises :class:`AdmissionError` if accepting the request would push
+    the total of real-time reservations above the admission threshold.
+    """
+    available = config.admission_threshold_ppt - existing_real_time_ppt
+    if requested_ppt > available:
+        raise AdmissionError(
+            requested_ppt=requested_ppt,
+            available_ppt=max(0, available),
+            thread_name=thread_name,
+        )
+
+
+__all__ = [
+    "FairShareSquish",
+    "SquishPolicy",
+    "SquishRequest",
+    "WeightedFairShareSquish",
+    "check_admission",
+]

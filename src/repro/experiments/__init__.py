@@ -1,0 +1,38 @@
+"""Experiment drivers.
+
+One module per reproduced figure of the paper, plus extension /
+ablation experiments.  Every driver exposes a ``run_*`` function that
+builds the workload, runs the simulation and returns an
+:class:`repro.analysis.results.ExperimentResult` containing
+
+* the headline metrics (with the paper's reported values alongside,
+  where the paper gives them),
+* the raw time series needed to redraw the figure, and
+* notes about any deviation from the paper's setup.
+
+The benchmark suite (``benchmarks/``) calls these drivers and asserts
+the *shape* properties the paper claims; the examples print their
+summaries.
+"""
+
+from repro.experiments.ablation_period import run_ablation_period
+from repro.experiments.ablation_pid import run_ablation_pid
+from repro.experiments.ablation_squish import run_ablation_squish
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.inversion import run_inversion_comparison
+from repro.experiments.taxonomy import run_taxonomy
+
+__all__ = [
+    "run_ablation_period",
+    "run_ablation_pid",
+    "run_ablation_squish",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_inversion_comparison",
+    "run_taxonomy",
+]

@@ -1,0 +1,113 @@
+"""Figure 5 — overhead of the controller vs. number of controlled processes.
+
+"This figure shows the overhead of our user-level controller.  Our
+experimental results are linear, y = .00066x + .00057, with a
+coefficient of determination of .999. […] For 40 jobs (x = 40), the
+overhead is 2.7% of CPU capacity."
+
+The reproduction runs the controller at the paper's 10 ms period over a
+population of dummy controlled processes that consume no CPU but are
+scheduled, monitored and controlled, sweeping the population size.  Two
+overhead figures are produced for each point:
+
+* the **modelled** overhead — the calibrated linear cost model charged
+  to the simulation (this is what the rest of the experiments see), and
+* the **measured** overhead — the real wall-clock cost of the Python
+  controller's update, per invocation, which demonstrates that the
+  implementation itself scales linearly in the number of controlled
+  threads even though its absolute cost differs from the 1998 C
+  prototype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.regression import linear_fit
+from repro.analysis.results import ExperimentResult
+from repro.core.config import ControllerConfig
+from repro.core.taxonomy import ThreadSpec
+from repro.sim.clock import seconds
+from repro.sim.requests import Sleep
+from repro.system import build_real_rate_system
+
+#: Paper-reported values for comparison in EXPERIMENTS.md.
+PAPER_SLOPE = 0.00066
+PAPER_INTERCEPT = 0.00057
+PAPER_R_SQUARED = 0.999
+PAPER_OVERHEAD_AT_40 = 0.027
+
+
+def _dummy_body(env):
+    """A controlled process that consumes (almost) no CPU.
+
+    The paper's dummies "consume no CPU but are scheduled, monitored,
+    and controlled"; sleeping in long stretches reproduces that.
+    """
+    while True:
+        yield Sleep(1_000_000)
+
+
+def run_figure5(
+    process_counts: Sequence[int] = (0, 5, 10, 15, 20, 25, 30, 35, 40),
+    *,
+    controller_period_us: int = 10_000,
+    sim_seconds: float = 2.0,
+    config: Optional[ControllerConfig] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 5: controller overhead vs. controlled processes."""
+    counts: list[float] = []
+    modeled_overheads: list[float] = []
+    measured_wall_us: list[float] = []
+
+    for count in process_counts:
+        cfg = config if config is not None else ControllerConfig(
+            controller_period_us=controller_period_us
+        )
+        system = build_real_rate_system(
+            cfg,
+            charge_dispatch_overhead=False,
+        )
+        for index in range(count):
+            system.spawn_controlled(
+                f"dummy{index}", _dummy_body, spec=ThreadSpec()
+            )
+        system.run_for(seconds(sim_seconds))
+        counts.append(float(count))
+        modeled_overheads.append(system.driver.modeled_overhead_fraction())
+        measured_wall_us.append(system.driver.measured_wall_us_per_invocation())
+
+    modeled_fit = linear_fit(counts, modeled_overheads)
+    measured_fit = linear_fit(counts, measured_wall_us)
+
+    result = ExperimentResult(
+        experiment_id="figure5",
+        title="Controller overhead vs. number of controlled processes",
+        metrics={
+            "slope_overhead_per_process": modeled_fit.slope,
+            "intercept_overhead": modeled_fit.intercept,
+            "r_squared": modeled_fit.r_squared,
+            "overhead_at_40_processes": modeled_fit.predict(40.0),
+            "measured_wall_us_slope_per_process": measured_fit.slope,
+            "measured_wall_r_squared": measured_fit.r_squared,
+        },
+        paper_values={
+            "slope_overhead_per_process": PAPER_SLOPE,
+            "intercept_overhead": PAPER_INTERCEPT,
+            "r_squared": PAPER_R_SQUARED,
+            "overhead_at_40_processes": PAPER_OVERHEAD_AT_40,
+        },
+    )
+    result.add_series("modeled_overhead_vs_processes", counts, modeled_overheads)
+    result.add_series("measured_wall_us_vs_processes", counts, measured_wall_us)
+    result.notes.append(
+        "modeled overhead uses the per-process/fixed cost calibrated from the "
+        "paper (6.6 us + 5.7 us at a 10 ms period); the measured series is the "
+        "wall-clock cost of this Python implementation and demonstrates the "
+        "same linearity with a different constant."
+    )
+    return result
+
+
+__all__ = ["run_figure5", "PAPER_SLOPE", "PAPER_INTERCEPT", "PAPER_OVERHEAD_AT_40"]

@@ -1,0 +1,35 @@
+"""Symbiotic interfaces (IPC channels).
+
+Section 3.2 of the paper introduces *symbiotic interfaces*: IPC
+abstractions (shared-memory queues, pipes, sockets, ttys) that expose
+their fill level, size and each endpoint's role (producer or consumer)
+to the kernel, so the scheduler can estimate application progress
+without understanding application semantics.
+
+This package provides those abstractions for the simulation substrate
+and the :class:`~repro.ipc.registry.SymbioticRegistry` that plays the
+role of the paper's meta-interface system call: applications (or the
+channel constructors acting on their behalf, as the paper's shared
+queue library does) register a channel plus each thread's role, and the
+controller's monitors read fill levels through the registry.
+"""
+
+from repro.ipc.bounded_buffer import BoundedBuffer, Channel
+from repro.ipc.mutex import Mutex
+from repro.ipc.pipe import Pipe
+from repro.ipc.registry import Linkage, SymbioticRegistry
+from repro.ipc.roles import Role
+from repro.ipc.sock import Socket
+from repro.ipc.tty import TTY
+
+__all__ = [
+    "BoundedBuffer",
+    "Channel",
+    "Linkage",
+    "Mutex",
+    "Pipe",
+    "Role",
+    "Socket",
+    "SymbioticRegistry",
+    "TTY",
+]

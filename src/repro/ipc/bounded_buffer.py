@@ -1,0 +1,145 @@
+"""Bounded buffers (shared-memory queues).
+
+The canonical symbiotic interface of the paper: a byte-counted bounded
+buffer connecting a producer and a consumer.  The controller only ever
+reads three things from it — capacity, current fill and each thread's
+role — which is exactly what the paper's shared-queue library exposes
+to the kernel through the meta-interface.
+
+Blocking semantics are implemented by the kernel
+(:meth:`repro.sim.kernel.Kernel._handle_put` and friends); the channel
+itself only stores bytes and waiter lists, mirroring the split between
+an in-kernel buffer implementation and the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.errors import ChannelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.thread import SimThread
+
+
+class Channel:
+    """Base class for byte-stream symbiotic channels.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in traces and the registry.
+    capacity_bytes:
+        Maximum number of bytes the channel buffers.
+    """
+
+    #: Channel kind reported to the registry (overridden by subclasses).
+    KIND = "channel"
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ChannelError(
+                f"channel {name!r}: capacity must be positive, got "
+                f"{capacity_bytes}"
+            )
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self._fill_bytes = 0
+        self.total_put_bytes = 0
+        self.total_get_bytes = 0
+        self.put_count = 0
+        self.get_count = 0
+        self.full_events = 0
+        self.empty_events = 0
+        #: Threads blocked writing to / reading from this channel (kernel-owned).
+        self.put_waiters: list["SimThread"] = []
+        self.get_waiters: list["SimThread"] = []
+
+    # ------------------------------------------------------------------
+    # state inspection (what the symbiotic interface exposes)
+    # ------------------------------------------------------------------
+    def fill_bytes(self) -> int:
+        """Bytes currently buffered."""
+        return self._fill_bytes
+
+    def fill_level(self) -> float:
+        """Fill as a fraction of capacity, in [0, 1]."""
+        return self._fill_bytes / self.capacity_bytes
+
+    def space_free(self) -> int:
+        """Bytes of free space."""
+        return self.capacity_bytes - self._fill_bytes
+
+    def bytes_available(self) -> int:
+        """Bytes available for reading (synonym for :meth:`fill_bytes`)."""
+        return self._fill_bytes
+
+    def is_full(self) -> bool:
+        """Whether the buffer has no free space."""
+        return self._fill_bytes >= self.capacity_bytes
+
+    def is_empty(self) -> bool:
+        """Whether the buffer holds no data."""
+        return self._fill_bytes == 0
+
+    # ------------------------------------------------------------------
+    # data movement (called by the kernel on behalf of threads)
+    # ------------------------------------------------------------------
+    def commit_put(
+        self, nbytes: int, *, now: int = 0, thread: Optional["SimThread"] = None
+    ) -> None:
+        """Record ``nbytes`` entering the buffer."""
+        if nbytes > self.capacity_bytes:
+            raise ChannelError(
+                f"channel {self.name!r}: put of {nbytes} bytes exceeds "
+                f"capacity {self.capacity_bytes}"
+            )
+        if self._fill_bytes + nbytes > self.capacity_bytes:
+            raise ChannelError(
+                f"channel {self.name!r}: put of {nbytes} bytes overflows "
+                f"fill {self._fill_bytes}/{self.capacity_bytes}"
+            )
+        self._fill_bytes += nbytes
+        self.total_put_bytes += nbytes
+        self.put_count += 1
+        if self.is_full():
+            self.full_events += 1
+
+    def commit_get(
+        self, nbytes: int, *, now: int = 0, thread: Optional["SimThread"] = None
+    ) -> None:
+        """Record ``nbytes`` leaving the buffer."""
+        if nbytes > self._fill_bytes:
+            raise ChannelError(
+                f"channel {self.name!r}: get of {nbytes} bytes underflows "
+                f"fill {self._fill_bytes}"
+            )
+        self._fill_bytes -= nbytes
+        self.total_get_bytes += nbytes
+        self.get_count += 1
+        if self.is_empty():
+            self.empty_events += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"fill={self._fill_bytes}/{self.capacity_bytes})"
+        )
+
+
+class BoundedBuffer(Channel):
+    """A shared-memory bounded buffer between cooperating threads.
+
+    This is the channel type used by the pulse-response experiments of
+    Sections 4.2 (Figures 6 and 7): the producer enqueues blocks, the
+    consumer dequeues them, and the controller drives the consumer's
+    allocation from the fill level.
+    """
+
+    KIND = "shared_queue"
+
+    def __init__(self, name: str, capacity_bytes: int = 64 * 1024) -> None:
+        super().__init__(name, capacity_bytes)
+
+
+__all__ = ["BoundedBuffer", "Channel"]

@@ -1,0 +1,28 @@
+"""Unix-style pipes.
+
+The paper extends the in-kernel pipe implementation so that pipes
+register themselves with the meta-interface automatically: "Pipes and
+sockets are effectively queues managed by the kernel as part of the
+abstraction."  A :class:`Pipe` is therefore just a :class:`Channel`
+with the traditional 4 KiB kernel buffer as its default capacity and a
+distinct kind tag so monitors can report what they are watching.
+"""
+
+from __future__ import annotations
+
+from repro.ipc.bounded_buffer import Channel
+
+#: Classic Unix pipe buffer size.
+DEFAULT_PIPE_CAPACITY = 4 * 1024
+
+
+class Pipe(Channel):
+    """A kernel-buffered byte pipe between two threads."""
+
+    KIND = "pipe"
+
+    def __init__(self, name: str, capacity_bytes: int = DEFAULT_PIPE_CAPACITY) -> None:
+        super().__init__(name, capacity_bytes)
+
+
+__all__ = ["DEFAULT_PIPE_CAPACITY", "Pipe"]

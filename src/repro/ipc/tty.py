@@ -1,0 +1,35 @@
+"""TTYs for interactive jobs.
+
+"Interactive jobs are servers that listen to ttys instead of sockets.
+Since interactive jobs have specific requirements (periods relative to
+human perception), the scheduler only needs to know that the job is
+interactive and the ttys in which it is interested."
+
+A :class:`TTY` is a small channel carrying keystroke/event bytes from a
+(simulated) human to the interactive thread.  The controller treats
+threads registered as consumers of a TTY specially: it pins their
+period to a human-perception bound rather than estimating it.
+"""
+
+from __future__ import annotations
+
+from repro.ipc.bounded_buffer import Channel
+
+#: Keystroke buffers are tiny; 256 events is generous.
+DEFAULT_TTY_CAPACITY = 256
+
+#: Period used for interactive jobs: 30 ms keeps response comfortably
+#: below human perception thresholds (the paper's default period).
+INTERACTIVE_PERIOD_US = 30_000
+
+
+class TTY(Channel):
+    """A terminal input queue for an interactive job."""
+
+    KIND = "tty"
+
+    def __init__(self, name: str, capacity_bytes: int = DEFAULT_TTY_CAPACITY) -> None:
+        super().__init__(name, capacity_bytes)
+
+
+__all__ = ["DEFAULT_TTY_CAPACITY", "INTERACTIVE_PERIOD_US", "TTY"]

@@ -1,0 +1,158 @@
+"""Progress-pressure sources (Figure 3 inputs).
+
+For shared queues the paper computes the per-metric value as
+
+    F_t,i = fill_level / size - 1/2
+
+so F ranges over [-1/2, +1/2] with 0 at the half-full set point that
+"leaves maximal room to handle bursts by both the producer and
+consumer".  R_t,i flips the sign for producers.  A thread's summed
+instantaneous pressure is Σ_i R_t,i · F_t,i, which the controller then
+passes through the PID block G.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.ipc.bounded_buffer import Channel
+from repro.ipc.registry import Linkage, SymbioticRegistry
+from repro.ipc.roles import Role
+from repro.sim.thread import SimThread
+
+#: The target fill level: half full, per the paper.
+SETPOINT_FILL = 0.5
+
+#: Pressure applied to miscellaneous threads (no progress metric).  The
+#: paper only says it is "a positive constant"; a modest value keeps a
+#: lone hog from instantly demanding the whole machine while still
+#: growing to use all spare CPU within a few controller periods.
+DEFAULT_CONSTANT_PRESSURE = 0.25
+
+
+@dataclass(frozen=True)
+class PressureSample:
+    """One thread's progress-pressure observation at a sampling instant.
+
+    Attributes
+    ----------
+    raw:
+        Σ R·F over all the thread's linkages (or the constant for
+        metric-less threads); bounded by ±(number of linkages)/2.
+    per_channel:
+        The individual signed contributions, keyed by channel name, for
+        tracing and debugging.
+    saturated_full / saturated_empty:
+        Whether any of the thread's queues was completely full or
+        completely empty at the sample — the condition under which the
+        controller may raise a quality exception during overload.
+    """
+
+    raw: float
+    per_channel: dict[str, float] = field(default_factory=dict)
+    saturated_full: bool = False
+    saturated_empty: bool = False
+
+
+class QueueFillMonitor:
+    """Computes the signed F value for a single linkage."""
+
+    def __init__(self, linkage: Linkage, setpoint: float = SETPOINT_FILL) -> None:
+        if not 0.0 < setpoint < 1.0:
+            raise ValueError(f"setpoint must be inside (0, 1), got {setpoint}")
+        self.linkage = linkage
+        self.setpoint = setpoint
+
+    @property
+    def channel(self) -> Channel:
+        """The channel being observed."""
+        return self.linkage.channel
+
+    def fill_deviation(self) -> float:
+        """F_t,i = fill_level - setpoint, in [-setpoint, 1-setpoint]."""
+        return self.channel.fill_level() - self.setpoint
+
+    def signed_pressure(self) -> float:
+        """R_t,i * F_t,i — positive means "needs more CPU"."""
+        return self.linkage.pressure_sign() * self.fill_deviation()
+
+
+class ConstantPressureSource:
+    """Pseudo-progress for threads with no symbiotic interface.
+
+    "For proportion, the controller approximates the thread's progress
+    with a positive constant. In this way there is constant pressure to
+    allocate more CPU to a miscellaneous thread, until it is either
+    satisfied or the CPU becomes oversubscribed."
+    """
+
+    def __init__(self, pressure: float = DEFAULT_CONSTANT_PRESSURE) -> None:
+        if pressure <= 0:
+            raise ValueError(
+                f"miscellaneous pressure must be positive, got {pressure}"
+            )
+        self.pressure = pressure
+
+    def sample(self) -> PressureSample:
+        """Return the constant pressure as a sample."""
+        return PressureSample(raw=self.pressure, per_channel={})
+
+
+class ProgressSampler:
+    """Collects a thread's combined pressure from the registry.
+
+    One sampler per controlled thread; created lazily by the allocator
+    when a thread registers.  The sampler re-reads the registry's
+    linkage list at every sample so channels registered after the thread
+    joined are picked up automatically.
+    """
+
+    def __init__(
+        self,
+        thread: SimThread,
+        registry: SymbioticRegistry,
+        setpoint: float = SETPOINT_FILL,
+    ) -> None:
+        self.thread = thread
+        self.registry = registry
+        self.setpoint = setpoint
+
+    def linkages(self) -> list[Linkage]:
+        """Current linkages for the thread."""
+        return self.registry.linkages_for(self.thread)
+
+    def sample(self) -> Optional[PressureSample]:
+        """Sample the thread's summed pressure, or ``None`` if no metric."""
+        linkages = self.linkages()
+        if not linkages:
+            return None
+        total = 0.0
+        per_channel: dict[str, float] = {}
+        saturated_full = False
+        saturated_empty = False
+        for linkage in linkages:
+            monitor = QueueFillMonitor(linkage, setpoint=self.setpoint)
+            signed = monitor.signed_pressure()
+            per_channel[linkage.channel.name] = signed
+            total += signed
+            if linkage.channel.is_full():
+                saturated_full = True
+            if linkage.channel.is_empty():
+                saturated_empty = True
+        return PressureSample(
+            raw=total,
+            per_channel=per_channel,
+            saturated_full=saturated_full,
+            saturated_empty=saturated_empty,
+        )
+
+
+__all__ = [
+    "ConstantPressureSource",
+    "DEFAULT_CONSTANT_PRESSURE",
+    "PressureSample",
+    "ProgressSampler",
+    "QueueFillMonitor",
+    "SETPOINT_FILL",
+]

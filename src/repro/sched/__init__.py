@@ -1,0 +1,35 @@
+"""Schedulers.
+
+The paper's substrate is a reservation-based proportion/period
+dispatcher layered on Linux's goodness mechanism
+(:class:`~repro.sched.rbs.ReservationScheduler`).  This package also
+provides the baselines the paper argues against or compares with, so
+experiments can contrast behaviours (starvation, priority inversion,
+fine-grained control):
+
+* :class:`~repro.sched.goodness.LinuxGoodnessScheduler` — stock Linux
+  2.0 multi-level-feedback style scheduling with ``nice`` values.
+* :class:`~repro.sched.priority.FixedPriorityScheduler` — fixed
+  (real-time) priorities, with optional priority inheritance.
+* :class:`~repro.sched.lottery.LotteryScheduler` — Waldspurger & Weihl
+  proportional-share lottery scheduling (related work, [21]).
+* :class:`~repro.sched.round_robin.RoundRobinScheduler` — the simplest
+  possible fair baseline.
+"""
+
+from repro.sched.base import Scheduler
+from repro.sched.goodness import LinuxGoodnessScheduler
+from repro.sched.lottery import LotteryScheduler
+from repro.sched.priority import FixedPriorityScheduler
+from repro.sched.rbs import Reservation, ReservationScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+
+__all__ = [
+    "FixedPriorityScheduler",
+    "LinuxGoodnessScheduler",
+    "LotteryScheduler",
+    "Reservation",
+    "ReservationScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+]

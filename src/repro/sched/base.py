@@ -1,0 +1,131 @@
+"""Scheduler interface.
+
+A scheduler is a pure policy object: the kernel tells it about thread
+lifecycle events (ready, block, yield, preempt, exit) and asks it two
+questions at every dispatch point: *which runnable thread should run
+next* (:meth:`Scheduler.pick_next`) and *for at most how long*
+(:meth:`Scheduler.time_slice`).  CPU consumption is reported back via
+:meth:`Scheduler.charge` so proportion/period accounting can be kept.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.errors import SchedulerError
+from repro.sim.thread import SimThread, ThreadState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ipc.mutex import Mutex
+    from repro.sim.kernel import Kernel
+
+
+class Scheduler(ABC):
+    """Base class for all dispatch policies."""
+
+    #: Key under which the scheduler stores per-thread data in
+    #: ``SimThread.sched_data``; subclasses override.
+    SCHED_KEY = "base"
+
+    def __init__(self) -> None:
+        self.kernel: Optional["Kernel"] = None
+        self._threads: list[SimThread] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, kernel: "Kernel") -> None:
+        """Called by the kernel when the scheduler is installed."""
+        self.kernel = kernel
+
+    @property
+    def dispatch_interval_us(self) -> int:
+        """The kernel's dispatch interval (1 ms unless reconfigured)."""
+        if self.kernel is None:
+            return 1_000
+        return self.kernel.dispatch_interval_us
+
+    # ------------------------------------------------------------------
+    # thread membership
+    # ------------------------------------------------------------------
+    def add_thread(self, thread: SimThread) -> None:
+        """Register a new thread with the policy."""
+        if thread in self._threads:
+            raise SchedulerError(f"thread {thread.name!r} already registered")
+        self._threads.append(thread)
+        self.on_add(thread)
+
+    def remove_thread(self, thread: SimThread) -> None:
+        """Remove a thread (normally on exit)."""
+        if thread in self._threads:
+            self._threads.remove(thread)
+        self.on_remove(thread)
+
+    def threads(self) -> list[SimThread]:
+        """All threads currently registered with this scheduler."""
+        return list(self._threads)
+
+    def runnable_threads(self) -> list[SimThread]:
+        """Registered threads whose state allows dispatch."""
+        return [t for t in self._threads if t.state.is_runnable]
+
+    # ------------------------------------------------------------------
+    # policy hooks (subclasses override what they need)
+    # ------------------------------------------------------------------
+    def on_add(self, thread: SimThread) -> None:
+        """Hook: a thread was registered."""
+
+    def on_remove(self, thread: SimThread) -> None:
+        """Hook: a thread was removed."""
+
+    def on_ready(self, thread: SimThread, now: int) -> None:
+        """Hook: a thread became runnable."""
+
+    def on_block(self, thread: SimThread, now: int) -> None:
+        """Hook: a thread blocked or went to sleep."""
+
+    def on_yield(self, thread: SimThread, now: int) -> None:
+        """Hook: a thread voluntarily gave up the CPU."""
+
+    def on_preempt(self, thread: SimThread, now: int) -> None:
+        """Hook: a thread was preempted at the end of its slice."""
+
+    def on_dispatch(self, thread: SimThread, now: int) -> None:
+        """Hook: a thread was just selected to run."""
+
+    def on_mutex_block(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
+        """Hook: ``thread`` blocked acquiring ``mutex`` (for inheritance)."""
+
+    def on_mutex_release(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
+        """Hook: ``thread`` released ``mutex`` (for inheritance)."""
+
+    def charge(self, thread: SimThread, consumed_us: int, now: int) -> None:
+        """Hook: ``thread`` consumed ``consumed_us`` of CPU ending at ``now``."""
+
+    def refresh(self, now: int) -> None:
+        """Hook: bring time-dependent accounting up to ``now``.
+
+        Called by the kernel after an idle period so reservations can be
+        replenished before the next ``pick_next``.
+        """
+
+    def next_wakeup(self, now: int) -> Optional[int]:
+        """Earliest future time at which a currently ineligible thread
+        becomes eligible again (e.g. a throttled reservation
+        replenishes), or ``None`` if there is no such time."""
+        return None
+
+    # ------------------------------------------------------------------
+    # dispatch decisions
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def pick_next(self, now: int) -> Optional[SimThread]:
+        """Select the next thread to run, or ``None`` to idle."""
+
+    def time_slice(self, thread: SimThread, now: int) -> int:
+        """Maximum time (us) ``thread`` may run before re-dispatch."""
+        return self.dispatch_interval_us
+
+
+__all__ = ["Scheduler"]

@@ -1,0 +1,330 @@
+"""The reservation-based proportion/period scheduler (RBS).
+
+This is the substrate described in Section 3.1 of the paper: every
+thread registered with the policy carries a *proportion* (parts per
+thousand of the CPU) and a *period* (microseconds here, milliseconds in
+the paper's interface).  Within each period the thread may consume
+``proportion/1000 * period`` microseconds of CPU; once it has, it is
+throttled until the next period begins.
+
+Dispatch ordering follows the paper's goodness construction:
+
+* reservation threads always beat best-effort threads ("our policy
+  calculates goodness to ensure that threads it controls have higher
+  goodness than jobs under other policies"), and
+* among reservation threads, shorter periods win ("jobs with shorter
+  periods have higher goodness values"), which is exactly
+  rate-monotonic scheduling.
+
+Enforcement happens only at dispatch time (the paper's prototype cannot
+preempt mid-quantum), so a thread may overrun its allocation by up to
+one dispatch interval.  That quantisation error is discussed in
+Section 4.3; setting ``enforce_within_slice=True`` enables the
+microsecond-accurate enforcement the authors propose there, and the
+ablation benchmarks compare the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sched.base import Scheduler
+from repro.sim.errors import SchedulerError
+from repro.sim.thread import SchedulingPolicy, SimThread
+
+#: Proportions are expressed in parts per thousand, as in the paper.
+PROPORTION_SCALE = 1_000
+
+#: Default period assigned by the controller when none is known (30 ms).
+DEFAULT_PERIOD_US = 30_000
+
+
+@dataclass
+class Reservation:
+    """Per-thread reservation state.
+
+    Attributes
+    ----------
+    proportion_ppt:
+        Parts-per-thousand of the CPU the thread may use each period.
+    period_us:
+        Length of the repeating allocation period.
+    period_start:
+        Start of the current period (absolute microseconds).
+    used_in_period_us:
+        CPU consumed since ``period_start``.
+    deadline_misses:
+        Number of periods in which the scheduler could not deliver the
+        full allocation (the thread was runnable, wanted CPU, and did
+        not receive its allocation before the period ended).
+    periods_elapsed:
+        Total periods that have passed since the reservation was made.
+    """
+
+    proportion_ppt: int
+    period_us: int
+    period_start: int = 0
+    used_in_period_us: int = 0
+    deadline_misses: int = 0
+    periods_elapsed: int = 0
+    total_allocated_us: int = 0
+    wanted_more: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.proportion_ppt <= PROPORTION_SCALE:
+            raise SchedulerError(
+                f"proportion must be in [0, {PROPORTION_SCALE}] parts per "
+                f"thousand, got {self.proportion_ppt}"
+            )
+        if self.period_us <= 0:
+            raise SchedulerError(
+                f"period must be positive, got {self.period_us}us"
+            )
+
+    @property
+    def allocation_us(self) -> int:
+        """CPU budget per period in microseconds."""
+        return self.period_us * self.proportion_ppt // PROPORTION_SCALE
+
+    @property
+    def remaining_us(self) -> int:
+        """CPU budget left in the current period."""
+        return max(0, self.allocation_us - self.used_in_period_us)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the current period's budget has been used up."""
+        return self.used_in_period_us >= self.allocation_us
+
+    def period_end(self) -> int:
+        """Absolute time at which the current period ends."""
+        return self.period_start + self.period_us
+
+    def advance_to(self, now: int) -> int:
+        """Roll the period window forward so it contains ``now``.
+
+        Returns the number of complete periods that elapsed.  On each
+        period boundary the usage counter is reset; if the thread wanted
+        more CPU than it received in a period where it was runnable, a
+        deadline miss is recorded.
+        """
+        if now < self.period_start:
+            return 0
+        elapsed = (now - self.period_start) // self.period_us
+        if elapsed <= 0:
+            return 0
+        if self.wanted_more:
+            # The thread hit its budget and still wanted CPU this
+            # period: its reservation was too small for its demand.
+            self.deadline_misses += 1
+        self.period_start += elapsed * self.period_us
+        self.periods_elapsed += elapsed
+        self.used_in_period_us = 0
+        self.wanted_more = False
+        return elapsed
+
+
+class ReservationScheduler(Scheduler):
+    """Proportion/period dispatcher with rate-monotonic ordering.
+
+    Parameters
+    ----------
+    enforce_within_slice:
+        When ``True``, a thread's slice is additionally capped by its
+        remaining allocation, eliminating the one-dispatch-interval
+        overrun of the paper's prototype (Section 4.3 improvement).
+    best_effort_slice_us:
+        Time slice handed to best-effort threads when no reservation
+        thread is eligible.
+    """
+
+    SCHED_KEY = "rbs"
+
+    def __init__(
+        self,
+        *,
+        enforce_within_slice: bool = False,
+        best_effort_slice_us: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.enforce_within_slice = enforce_within_slice
+        self._best_effort_slice_us = best_effort_slice_us
+        self._best_effort_cursor = 0
+
+    # ------------------------------------------------------------------
+    # reservation management (the controller's actuation interface)
+    # ------------------------------------------------------------------
+    def reservation(self, thread: SimThread) -> Optional[Reservation]:
+        """The thread's reservation, or ``None`` if it has no reservation."""
+        return thread.sched_data.get(self.SCHED_KEY)
+
+    def set_reservation(
+        self,
+        thread: SimThread,
+        proportion_ppt: int,
+        period_us: int = DEFAULT_PERIOD_US,
+        *,
+        now: Optional[int] = None,
+    ) -> Reservation:
+        """Create or update ``thread``'s proportion/period reservation.
+
+        Updating an existing reservation preserves the current period
+        window and usage, matching the paper's "very low overhead to
+        change proportion and period": actuation does not reset
+        accounting, it simply changes the budget going forward.
+        """
+        if thread not in self._threads:
+            raise SchedulerError(
+                f"thread {thread.name!r} is not registered with this scheduler"
+            )
+        if now is None:
+            now = self.kernel.now if self.kernel is not None else 0
+        current = self.reservation(thread)
+        if current is None:
+            reservation = Reservation(
+                proportion_ppt=int(proportion_ppt),
+                period_us=int(period_us),
+                period_start=now,
+            )
+            thread.sched_data[self.SCHED_KEY] = reservation
+            thread.policy = SchedulingPolicy.RESERVATION
+            return reservation
+        # Validate the new values by constructing a throwaway instance.
+        Reservation(proportion_ppt=int(proportion_ppt), period_us=int(period_us))
+        current.proportion_ppt = int(proportion_ppt)
+        if int(period_us) != current.period_us:
+            current.period_us = int(period_us)
+            current.period_start = now
+            current.used_in_period_us = 0
+        return current
+
+    def clear_reservation(self, thread: SimThread) -> None:
+        """Demote ``thread`` to best-effort scheduling."""
+        thread.sched_data.pop(self.SCHED_KEY, None)
+        thread.policy = SchedulingPolicy.BEST_EFFORT
+
+    def total_reserved_ppt(self) -> int:
+        """Sum of all live reservations' proportions (overload detector)."""
+        total = 0
+        for thread in self._threads:
+            reservation = self.reservation(thread)
+            if reservation is not None:
+                total += reservation.proportion_ppt
+        return total
+
+    def deadline_misses(self) -> int:
+        """Total deadline misses across all reservation threads."""
+        total = 0
+        for thread in self._threads:
+            reservation = self.reservation(thread)
+            if reservation is not None:
+                total += reservation.deadline_misses
+        return total
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+    def on_add(self, thread: SimThread) -> None:
+        if thread.policy is SchedulingPolicy.RESERVATION:
+            # A thread that registers with the RBS but has not yet been
+            # assigned a proportion starts with a zero reservation at the
+            # default period; the controller raises it on its next pass.
+            if self.reservation(thread) is None:
+                now = self.kernel.now if self.kernel is not None else 0
+                thread.sched_data[self.SCHED_KEY] = Reservation(
+                    proportion_ppt=0,
+                    period_us=DEFAULT_PERIOD_US,
+                    period_start=now,
+                )
+
+    def refresh(self, now: int) -> None:
+        for thread in self._threads:
+            reservation = self.reservation(thread)
+            if reservation is not None:
+                reservation.advance_to(now)
+
+    def charge(self, thread: SimThread, consumed_us: int, now: int) -> None:
+        reservation = self.reservation(thread)
+        if reservation is None:
+            return
+        reservation.used_in_period_us += consumed_us
+        reservation.total_allocated_us += consumed_us
+        reservation.advance_to(now)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _eligible_reservation_threads(self, now: int) -> list[SimThread]:
+        eligible = []
+        for thread in self._threads:
+            if not thread.state.is_runnable:
+                continue
+            reservation = self.reservation(thread)
+            if reservation is None:
+                continue
+            reservation.advance_to(now)
+            if reservation.exhausted:
+                reservation.wanted_more = True
+                continue
+            eligible.append(thread)
+        return eligible
+
+    def _runnable_best_effort(self) -> list[SimThread]:
+        return [
+            t
+            for t in self._threads
+            if t.state.is_runnable and self.reservation(t) is None
+        ]
+
+    def pick_next(self, now: int) -> Optional[SimThread]:
+        eligible = self._eligible_reservation_threads(now)
+        if eligible:
+            # Rate-monotonic: shortest period first; proportion breaks
+            # ties in favour of larger allocations, tid keeps it stable.
+            eligible.sort(
+                key=lambda t: (
+                    self.reservation(t).period_us,
+                    -self.reservation(t).proportion_ppt,
+                    t.tid,
+                )
+            )
+            return eligible[0]
+        best_effort = self._runnable_best_effort()
+        if not best_effort:
+            return None
+        # Round-robin over best-effort threads for basic fairness.
+        self._best_effort_cursor += 1
+        return best_effort[self._best_effort_cursor % len(best_effort)]
+
+    def time_slice(self, thread: SimThread, now: int) -> int:
+        reservation = self.reservation(thread)
+        if reservation is None:
+            if self._best_effort_slice_us is not None:
+                return self._best_effort_slice_us
+            return self.dispatch_interval_us
+        slice_us = self.dispatch_interval_us
+        if self.enforce_within_slice:
+            slice_us = min(slice_us, max(1, reservation.remaining_us))
+        return slice_us
+
+    def next_wakeup(self, now: int) -> Optional[int]:
+        earliest: Optional[int] = None
+        for thread in self._threads:
+            if not thread.state.is_runnable:
+                continue
+            reservation = self.reservation(thread)
+            if reservation is None or not reservation.exhausted:
+                continue
+            end = reservation.period_end()
+            if earliest is None or end < earliest:
+                earliest = end
+        return earliest
+
+
+__all__ = [
+    "DEFAULT_PERIOD_US",
+    "PROPORTION_SCALE",
+    "Reservation",
+    "ReservationScheduler",
+]

@@ -1,0 +1,39 @@
+"""Round-robin scheduler.
+
+The simplest baseline: every runnable thread gets one dispatch interval
+in turn.  Used by unit tests that need a neutral dispatcher and by the
+starvation-comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sched.base import Scheduler
+from repro.sim.thread import SimThread
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through runnable threads, one time slice each."""
+
+    SCHED_KEY = "rr"
+
+    def __init__(self, slice_us: Optional[int] = None) -> None:
+        super().__init__()
+        self._slice_us = slice_us
+        self._cursor = 0
+
+    def pick_next(self, now: int) -> Optional[SimThread]:
+        runnable = self.runnable_threads()
+        if not runnable:
+            return None
+        self._cursor += 1
+        return runnable[self._cursor % len(runnable)]
+
+    def time_slice(self, thread: SimThread, now: int) -> int:
+        if self._slice_us is not None:
+            return self._slice_us
+        return self.dispatch_interval_us
+
+
+__all__ = ["RoundRobinScheduler"]

@@ -1,0 +1,537 @@
+"""The simulated machine.
+
+:class:`Kernel` owns the virtual clock, the event queue, a pluggable
+scheduler, all threads and the IPC channels they communicate over.  It
+plays the role of the paper's modified Linux kernel: it dispatches
+threads at a fixed dispatch interval (the paper's 1 ms timer), charges
+CPU accounting at microsecond granularity, blocks threads on bounded
+buffers / pipes / sockets / mutexes / sleeps / simulated I/O, and wakes
+them when the blocking condition clears.
+
+The scheduler decides *which* runnable thread runs next and for how
+long; the kernel mechanically executes that decision.  The adaptive
+controller of :mod:`repro.core` is layered on top: it is driven by a
+periodic event and only talks to the scheduler (to set proportion and
+period) and to the symbiotic-interface registry (to read fill levels).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.sim.clock import US_PER_SEC, SimClock
+from repro.sim.cpu import CPUModel
+from repro.sim.errors import DeadlockError, SimulationError, ThreadStateError
+from repro.sim.events import EventQueue, PeriodicEvent
+from repro.sim.requests import (
+    AcquireMutex,
+    Compute,
+    Exit,
+    Get,
+    Put,
+    ReleaseMutex,
+    Request,
+    Sleep,
+    WaitIO,
+    Yield,
+)
+from repro.sim.thread import SimThread, ThreadEnv, ThreadState
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ipc.bounded_buffer import Channel
+    from repro.ipc.mutex import Mutex
+    from repro.sched.base import Scheduler
+
+#: Default dispatch interval: 1 ms, matching the paper's timer interval.
+DEFAULT_DISPATCH_INTERVAL_US = 1_000
+
+
+class _DispatchOutcome:
+    """Reasons a dispatch slice ended (internal bookkeeping constants)."""
+
+    PREEMPTED = "preempted"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    YIELDED = "yielded"
+    EXITED = "exited"
+
+
+class Kernel:
+    """A single-CPU simulated system.
+
+    Parameters
+    ----------
+    scheduler:
+        The dispatcher policy (see :mod:`repro.sched`).  The kernel
+        attaches itself to the scheduler so the scheduler can query the
+        dispatch interval.
+    cpu:
+        CPU cost model; controls the per-dispatch overhead charged as
+        stolen time.
+    dispatch_interval_us:
+        The timer interval bounding how long a thread may run before
+        the dispatcher is re-entered.
+    tracer:
+        Optional shared tracer; one is created if not supplied.
+    charge_dispatch_overhead:
+        When ``False`` the per-dispatch CPU cost is not charged, which
+        makes the controller-dynamics experiments (Figures 6 and 7)
+        independent of the overhead model.
+    deadlock_detection:
+        When ``True`` (default) the kernel raises :class:`DeadlockError`
+        if threads remain blocked with no possible future wake-up.
+    syscall_cost_us:
+        CPU charged to a thread for every non-compute request (put, get,
+        sleep, mutex operation…).  Besides being realistic, a non-zero
+        cost guarantees that a thread issuing only zero-cost requests
+        still makes the clock advance.
+    """
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        *,
+        cpu: Optional[CPUModel] = None,
+        dispatch_interval_us: int = DEFAULT_DISPATCH_INTERVAL_US,
+        tracer: Optional[Tracer] = None,
+        charge_dispatch_overhead: bool = True,
+        deadlock_detection: bool = True,
+        syscall_cost_us: int = 1,
+    ) -> None:
+        if dispatch_interval_us <= 0:
+            raise ValueError(
+                f"dispatch interval must be positive, got {dispatch_interval_us}"
+            )
+        self.clock = SimClock()
+        self.events = EventQueue()
+        self.cpu = cpu if cpu is not None else CPUModel()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.scheduler = scheduler
+        self.dispatch_interval_us = int(dispatch_interval_us)
+        self.charge_dispatch_overhead = charge_dispatch_overhead
+        self.deadlock_detection = deadlock_detection
+        if syscall_cost_us < 0:
+            raise ValueError(
+                f"syscall cost cannot be negative, got {syscall_cost_us}"
+            )
+        self.syscall_cost_us = int(syscall_cost_us)
+
+        self.threads: list[SimThread] = []
+        self.idle_us = 0
+        self.stolen_dispatch_us = 0
+        self.stolen_controller_us = 0
+        self.dispatch_count = 0
+        self._overhead_accumulator = 0.0
+        self._finished = False
+
+        scheduler.attach(self)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time in microseconds."""
+        return self.clock.now
+
+    @property
+    def stolen_us(self) -> int:
+        """Total CPU time consumed by kernel overhead (dispatch + controller)."""
+        return self.stolen_dispatch_us + self.stolen_controller_us
+
+    def total_thread_cpu_us(self) -> int:
+        """Sum of CPU time charged to all threads."""
+        return sum(t.accounting.total_us for t in self.threads)
+
+    def live_threads(self) -> list[SimThread]:
+        """Threads that have not exited."""
+        return [t for t in self.threads if t.state.is_live]
+
+    # ------------------------------------------------------------------
+    # thread management
+    # ------------------------------------------------------------------
+    def add_thread(self, thread: SimThread) -> SimThread:
+        """Register ``thread`` with the kernel and the scheduler."""
+        if thread in self.threads:
+            raise SimulationError(f"thread {thread.name!r} already added")
+        env = ThreadEnv(kernel=self, thread=thread)
+        thread.bind(env)
+        self.threads.append(thread)
+        self.scheduler.add_thread(thread)
+        self.scheduler.on_ready(thread, self.now)
+        return thread
+
+    def spawn(self, name: str, body, **kwargs) -> SimThread:
+        """Create a :class:`SimThread` and add it in one call."""
+        thread = SimThread(name, body, **kwargs)
+        return self.add_thread(thread)
+
+    # ------------------------------------------------------------------
+    # periodic helpers / controller overhead hook
+    # ------------------------------------------------------------------
+    def add_periodic(
+        self, period_us: int, callback: Callable[[int], None], start_us: int = 0,
+        label: str = "",
+    ) -> PeriodicEvent:
+        """Run ``callback(now)`` every ``period_us`` microseconds."""
+        return PeriodicEvent(self.events, period_us, callback, start=start_us,
+                             label=label)
+
+    def steal_cpu(self, us: int, *, reason: str = "controller") -> None:
+        """Consume ``us`` of CPU time that is charged to no thread.
+
+        Used by the controller driver to model the controller's own CPU
+        consumption (Figure 5) without representing the controller as a
+        full thread.
+        """
+        if us < 0:
+            raise ValueError(f"cannot steal negative CPU time {us}")
+        if us == 0:
+            return
+        self.clock.advance_by(us)
+        if reason == "dispatch":
+            self.stolen_dispatch_us += us
+        else:
+            self.stolen_controller_us += us
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run_for(self, duration_us: int) -> None:
+        """Run the simulation for ``duration_us`` microseconds."""
+        self.run_until(self.now + int(duration_us))
+
+    def run_until(self, t_end: int) -> None:
+        """Run the simulation until virtual time ``t_end``."""
+        if t_end < self.now:
+            raise ValueError(
+                f"cannot run until {t_end}us, already at {self.now}us"
+            )
+        while self.now < t_end:
+            self._fire_due_events()
+            if self.now >= t_end:
+                break
+            thread = self.scheduler.pick_next(self.now)
+            if thread is None:
+                if not self._advance_idle(t_end):
+                    break
+                continue
+            self._dispatch(thread, t_end)
+        if self.now < t_end:
+            self.clock.advance_to(t_end)
+
+    def _fire_due_events(self) -> None:
+        while True:
+            event = self.events.pop_due(self.now)
+            if event is None:
+                return
+            if not event.cancelled:
+                event.callback()
+
+    def _advance_idle(self, t_end: int) -> bool:
+        """Advance the clock to the next possible wake-up.
+
+        Returns ``False`` when the simulation cannot make further
+        progress before ``t_end`` (clock is advanced to ``t_end``).
+        """
+        candidates = []
+        next_event = self.events.next_time()
+        if next_event is not None:
+            candidates.append(next_event)
+        next_sched = self.scheduler.next_wakeup(self.now)
+        if next_sched is not None:
+            candidates.append(next_sched)
+        if not candidates:
+            blocked = [
+                t for t in self.live_threads() if t.state == ThreadState.BLOCKED
+            ]
+            if blocked and self.deadlock_detection:
+                names = ", ".join(t.name for t in blocked)
+                raise DeadlockError(
+                    f"no runnable threads, no pending events, and threads "
+                    f"[{names}] are blocked with no possible wake-up"
+                )
+            self.idle_us += t_end - self.now
+            self.clock.advance_to(t_end)
+            return False
+        target = min(min(candidates), t_end)
+        if target <= self.now:
+            # A wake-up is due immediately (e.g. a throttled reservation
+            # replenishes right now); let the caller re-run pick_next.
+            self.scheduler.refresh(self.now)
+            return True
+        self.idle_us += target - self.now
+        self.clock.advance_to(target)
+        self.scheduler.refresh(self.now)
+        return True
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _charge_dispatch_overhead(self) -> None:
+        if not self.charge_dispatch_overhead:
+            return
+        dispatch_hz = US_PER_SEC / self.dispatch_interval_us
+        self._overhead_accumulator += self.cpu.effective_dispatch_cost_us(dispatch_hz)
+        whole = int(self._overhead_accumulator)
+        if whole > 0:
+            self._overhead_accumulator -= whole
+            self.clock.advance_by(whole)
+            self.stolen_dispatch_us += whole
+
+    def _dispatch(self, thread: SimThread, t_end: int) -> None:
+        self.dispatch_count += 1
+        self._charge_dispatch_overhead()
+
+        thread.state = ThreadState.RUNNING
+        thread.accounting.dispatches += 1
+        thread.accounting.last_run_started = self.now
+        self.scheduler.on_dispatch(thread, self.now)
+
+        slice_us = self.scheduler.time_slice(thread, self.now)
+        if slice_us <= 0:
+            slice_us = self.dispatch_interval_us
+        horizon = min(self.now + slice_us, t_end)
+        next_event = self.events.next_time()
+        if next_event is not None:
+            horizon = min(horizon, next_event)
+
+        consumed = 0
+        outcome = _DispatchOutcome.PREEMPTED
+        while self.now < horizon:
+            request = thread.current_request()
+            if request is None:
+                request = self._next_request(thread)
+                if request is None:
+                    outcome = _DispatchOutcome.EXITED
+                    break
+            if isinstance(request, Compute):
+                remaining = thread.remaining_compute_us
+                if remaining > 0:
+                    step = min(horizon - self.now, remaining)
+                    thread.consume_compute(step)
+                    self.clock.advance_by(step)
+                    consumed += step
+                if thread.remaining_compute_us == 0:
+                    thread.finish_request()
+                continue
+            # Non-compute requests carry a small syscall cost; charging
+            # it before handling also guarantees forward progress for
+            # threads that never yield a Compute request.
+            if self.syscall_cost_us > 0:
+                step = min(horizon - self.now, self.syscall_cost_us)
+                self.clock.advance_by(step)
+                consumed += step
+                if step < self.syscall_cost_us:
+                    # Not enough slice left to pay for the syscall; the
+                    # request stays pending for the next dispatch.
+                    break
+            outcome = self._handle_request(thread, request)
+            if outcome != "continue":
+                break
+            outcome = _DispatchOutcome.PREEMPTED
+
+        thread.accounting.charge(consumed)
+        self.scheduler.charge(thread, consumed, self.now)
+        self._finish_dispatch(thread, outcome)
+
+    def _finish_dispatch(self, thread: SimThread, outcome: str) -> None:
+        acct = thread.accounting
+        if outcome == _DispatchOutcome.EXITED:
+            return
+        if outcome == _DispatchOutcome.BLOCKED:
+            acct.note_block()
+            self.scheduler.on_block(thread, self.now)
+            return
+        if outcome == _DispatchOutcome.SLEEPING:
+            acct.sleeps += 1
+            acct.note_block()
+            self.scheduler.on_block(thread, self.now)
+            return
+        if outcome == _DispatchOutcome.YIELDED:
+            acct.voluntary_switches += 1
+            thread.state = ThreadState.READY
+            self.scheduler.on_yield(thread, self.now)
+            return
+        # preempted: ran out of slice or an event is due
+        acct.preemptions += 1
+        thread.state = ThreadState.READY
+        self.scheduler.on_preempt(thread, self.now)
+
+    def _next_request(self, thread: SimThread) -> Optional[Request]:
+        send_value = thread._pending_send
+        thread._pending_send = None
+        request = thread.advance(send_value)
+        if request is None:
+            self._exit_thread(thread, status=0)
+            return None
+        return request
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def _handle_request(self, thread: SimThread, request: Request) -> str:
+        if isinstance(request, Put):
+            return self._handle_put(thread, request)
+        if isinstance(request, Get):
+            return self._handle_get(thread, request)
+        if isinstance(request, Sleep):
+            return self._handle_sleep(thread, request)
+        if isinstance(request, Yield):
+            thread.finish_request()
+            return _DispatchOutcome.YIELDED
+        if isinstance(request, Exit):
+            self._exit_thread(thread, status=request.status)
+            return _DispatchOutcome.EXITED
+        if isinstance(request, WaitIO):
+            return self._handle_wait_io(thread, request)
+        if isinstance(request, AcquireMutex):
+            return self._handle_acquire(thread, request)
+        if isinstance(request, ReleaseMutex):
+            return self._handle_release(thread, request)
+        raise ThreadStateError(
+            f"{thread.name}: unsupported request type {type(request).__name__}"
+        )
+
+    def _handle_put(self, thread: SimThread, request: Put) -> str:
+        channel = request.channel
+        if channel.space_free() >= request.nbytes and not channel.put_waiters:
+            channel.commit_put(request.nbytes, now=self.now, thread=thread)
+            thread.finish_request()
+            self._service_get_waiters(channel)
+            return "continue"
+        channel.put_waiters.append(thread)
+        thread.blocked_on = channel
+        thread.state = ThreadState.BLOCKED
+        return _DispatchOutcome.BLOCKED
+
+    def _handle_get(self, thread: SimThread, request: Get) -> str:
+        channel = request.channel
+        if channel.bytes_available() >= request.nbytes and not channel.get_waiters:
+            channel.commit_get(request.nbytes, now=self.now, thread=thread)
+            thread.finish_request()
+            thread._pending_send = request.nbytes
+            self._service_put_waiters(channel)
+            return "continue"
+        channel.get_waiters.append(thread)
+        thread.blocked_on = channel
+        thread.state = ThreadState.BLOCKED
+        return _DispatchOutcome.BLOCKED
+
+    def _service_put_waiters(self, channel: "Channel") -> None:
+        while channel.put_waiters:
+            waiter = channel.put_waiters[0]
+            request = waiter.current_request()
+            if not isinstance(request, Put):
+                raise ThreadStateError(
+                    f"{waiter.name}: waiting on a put but current request is "
+                    f"{type(request).__name__}"
+                )
+            if channel.space_free() < request.nbytes:
+                return
+            channel.put_waiters.pop(0)
+            channel.commit_put(request.nbytes, now=self.now, thread=waiter)
+            waiter.finish_request()
+            self._wake(waiter)
+            self._service_get_waiters(channel)
+
+    def _service_get_waiters(self, channel: "Channel") -> None:
+        while channel.get_waiters:
+            waiter = channel.get_waiters[0]
+            request = waiter.current_request()
+            if not isinstance(request, Get):
+                raise ThreadStateError(
+                    f"{waiter.name}: waiting on a get but current request is "
+                    f"{type(request).__name__}"
+                )
+            if channel.bytes_available() < request.nbytes:
+                return
+            channel.get_waiters.pop(0)
+            channel.commit_get(request.nbytes, now=self.now, thread=waiter)
+            waiter.finish_request()
+            waiter._pending_send = request.nbytes
+            self._wake(waiter)
+            self._service_put_waiters(channel)
+
+    def _handle_sleep(self, thread: SimThread, request: Sleep) -> str:
+        if request.us == 0:
+            thread.finish_request()
+            return _DispatchOutcome.YIELDED
+        thread.finish_request()
+        thread.state = ThreadState.SLEEPING
+        wake_at = self.now + request.us
+
+        def _wake_sleeper() -> None:
+            thread.wakeup_event = None
+            if thread.state == ThreadState.SLEEPING:
+                self._wake(thread)
+
+        thread.wakeup_event = self.events.schedule(
+            wake_at, _wake_sleeper, label=f"wake:{thread.name}"
+        )
+        return _DispatchOutcome.SLEEPING
+
+    def _handle_wait_io(self, thread: SimThread, request: WaitIO) -> str:
+        thread.finish_request()
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_on = request.tag or "io"
+        wake_at = self.now + request.latency_us
+
+        def _io_complete() -> None:
+            thread.wakeup_event = None
+            if thread.state == ThreadState.BLOCKED:
+                self._wake(thread)
+
+        thread.wakeup_event = self.events.schedule(
+            wake_at, _io_complete, label=f"io:{thread.name}"
+        )
+        return _DispatchOutcome.BLOCKED
+
+    def _handle_acquire(self, thread: SimThread, request: AcquireMutex) -> str:
+        mutex = request.mutex
+        if mutex.owner is None:
+            mutex.owner = thread
+            mutex.acquisitions += 1
+            thread.finish_request()
+            return "continue"
+        mutex.waiters.append(thread)
+        thread.blocked_on = mutex
+        thread.state = ThreadState.BLOCKED
+        self.scheduler.on_mutex_block(thread, mutex, self.now)
+        return _DispatchOutcome.BLOCKED
+
+    def _handle_release(self, thread: SimThread, request: ReleaseMutex) -> str:
+        mutex = request.mutex
+        if mutex.owner is not thread:
+            raise ThreadStateError(
+                f"{thread.name}: releasing mutex {mutex.name!r} it does not hold"
+            )
+        thread.finish_request()
+        self.scheduler.on_mutex_release(thread, mutex, self.now)
+        if mutex.waiters:
+            successor = mutex.waiters.pop(0)
+            mutex.owner = successor
+            mutex.acquisitions += 1
+            successor.finish_request()
+            self._wake(successor)
+        else:
+            mutex.owner = None
+        return "continue"
+
+    # ------------------------------------------------------------------
+    # wake / exit
+    # ------------------------------------------------------------------
+    def _wake(self, thread: SimThread) -> None:
+        thread.blocked_on = None
+        thread.state = ThreadState.READY
+        self.scheduler.on_ready(thread, self.now)
+
+    def _exit_thread(self, thread: SimThread, status: int) -> None:
+        thread.state = ThreadState.EXITED
+        thread.exit_status = status
+        thread.finish_request()
+        self.scheduler.remove_thread(thread)
+
+
+__all__ = ["DEFAULT_DISPATCH_INTERVAL_US", "Kernel"]

@@ -1,0 +1,158 @@
+"""The system-call vocabulary of simulated threads.
+
+A thread body is a Python generator that *yields* request objects.  The
+kernel interprets each request, charges CPU time, blocks or sleeps the
+thread, and resumes the generator when the request completes.  The
+request's ``result`` attribute (where applicable) is sent back into the
+generator, so a body can write::
+
+    def body(env):
+        while True:
+            yield Compute(500)                 # burn 500 us of CPU
+            yield Put(queue, 4096)             # may block if the queue is full
+            fill = queue.fill_level()          # non-blocking introspection
+            if fill > 0.9:
+                yield Sleep(ms(5))
+
+Only the request types defined here are understood by the kernel;
+yielding anything else raises
+:class:`repro.sim.errors.ThreadStateError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.ipc.bounded_buffer import Channel
+    from repro.ipc.mutex import Mutex
+
+
+@dataclass
+class Request:
+    """Base class for all thread requests."""
+
+
+@dataclass
+class Compute(Request):
+    """Consume ``us`` microseconds of CPU time.
+
+    The thread remains runnable for the whole burst; the kernel may
+    spread the burst over many dispatch intervals if the thread is
+    preempted or throttled by its reservation.
+    """
+
+    us: int
+
+    def __post_init__(self) -> None:
+        if self.us < 0:
+            raise ValueError(f"compute burst cannot be negative, got {self.us}")
+        self.us = int(self.us)
+
+
+@dataclass
+class Put(Request):
+    """Write ``nbytes`` into ``channel``, blocking while it lacks space."""
+
+    channel: "Channel"
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"put size must be positive, got {self.nbytes}")
+        self.nbytes = int(self.nbytes)
+
+
+@dataclass
+class Get(Request):
+    """Read ``nbytes`` from ``channel``, blocking while it lacks data.
+
+    The number of bytes actually read (always ``nbytes`` on success) is
+    sent back into the generator.
+    """
+
+    channel: "Channel"
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"get size must be positive, got {self.nbytes}")
+        self.nbytes = int(self.nbytes)
+
+
+@dataclass
+class Sleep(Request):
+    """Sleep for ``us`` microseconds without consuming CPU."""
+
+    us: int
+
+    def __post_init__(self) -> None:
+        if self.us < 0:
+            raise ValueError(f"sleep duration cannot be negative, got {self.us}")
+        self.us = int(self.us)
+
+
+@dataclass
+class Yield(Request):
+    """Voluntarily give up the CPU while remaining runnable."""
+
+
+@dataclass
+class Exit(Request):
+    """Terminate the thread.
+
+    Equivalent to the generator returning, provided for explicitness in
+    workloads that loop forever but want a conditional exit.
+    """
+
+    status: int = 0
+
+
+@dataclass
+class WaitIO(Request):
+    """Block for ``latency_us`` of simulated device time (no CPU used).
+
+    Models a synchronous disk or network operation: the thread blocks,
+    the device "completes" after the latency, and the thread becomes
+    runnable again.  Used by the I/O-intensive workload class from
+    Section 3.2 of the paper.
+    """
+
+    latency_us: int
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0:
+            raise ValueError(
+                f"I/O latency cannot be negative, got {self.latency_us}"
+            )
+        self.latency_us = int(self.latency_us)
+
+
+@dataclass
+class AcquireMutex(Request):
+    """Acquire ``mutex``, blocking while another thread holds it."""
+
+    mutex: "Mutex"
+
+
+@dataclass
+class ReleaseMutex(Request):
+    """Release ``mutex``; raises if the caller does not hold it."""
+
+    mutex: "Mutex"
+
+
+__all__ = [
+    "AcquireMutex",
+    "Compute",
+    "Exit",
+    "Get",
+    "Put",
+    "ReleaseMutex",
+    "Request",
+    "Sleep",
+    "WaitIO",
+    "Yield",
+]

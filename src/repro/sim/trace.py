@@ -1,0 +1,156 @@
+"""Tracing and time-series collection.
+
+Every experiment in the paper is reported as a time series (allocation
+over time, queue fill level over time, progress rate over time) or as a
+scalar derived from one (overhead fraction, response time).  The
+:class:`Tracer` collects named ``(time, value)`` series during a
+simulation run; the analysis package turns them into the figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.sim.clock import to_seconds
+from repro.sim.events import EventQueue, PeriodicEvent
+
+
+@dataclass
+class TracePoint:
+    """A single sample: virtual time (us) and a float value."""
+
+    time_us: int
+    value: float
+
+    @property
+    def time_s(self) -> float:
+        """Sample time in seconds."""
+        return to_seconds(self.time_us)
+
+
+class TraceSeries:
+    """An append-only, time-ordered series of samples."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._points: list[TracePoint] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> TracePoint:
+        return self._points[index]
+
+    def append(self, time_us: int, value: float) -> None:
+        """Append a sample; time must be non-decreasing."""
+        if self._points and time_us < self._points[-1].time_us:
+            raise ValueError(
+                f"series {self.name!r}: sample at {time_us}us is earlier than "
+                f"previous sample at {self._points[-1].time_us}us"
+            )
+        self._points.append(TracePoint(int(time_us), float(value)))
+
+    def times(self) -> list[int]:
+        """All sample times in microseconds."""
+        return [p.time_us for p in self._points]
+
+    def times_s(self) -> list[float]:
+        """All sample times in seconds."""
+        return [p.time_s for p in self._points]
+
+    def values(self) -> list[float]:
+        """All sample values."""
+        return [p.value for p in self._points]
+
+    def last(self) -> Optional[TracePoint]:
+        """The most recent sample, or ``None`` if empty."""
+        return self._points[-1] if self._points else None
+
+    def value_at(self, time_us: int) -> float:
+        """Value of the most recent sample at or before ``time_us``.
+
+        Raises ``ValueError`` if no sample exists that early.
+        """
+        candidate: Optional[TracePoint] = None
+        for point in self._points:
+            if point.time_us <= time_us:
+                candidate = point
+            else:
+                break
+        if candidate is None:
+            raise ValueError(
+                f"series {self.name!r} has no sample at or before {time_us}us"
+            )
+        return candidate.value
+
+    def window(self, start_us: int, end_us: int) -> list[TracePoint]:
+        """Samples with ``start_us <= time < end_us``."""
+        return [p for p in self._points if start_us <= p.time_us < end_us]
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (0.0 for an empty series)."""
+        if not self._points:
+            return 0.0
+        return sum(p.value for p in self._points) / len(self._points)
+
+
+class Tracer:
+    """Collects named :class:`TraceSeries` during a simulation."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, TraceSeries] = {}
+        self._samplers: list[PeriodicEvent] = []
+
+    def series(self, name: str) -> TraceSeries:
+        """Get (creating if needed) the series called ``name``."""
+        if name not in self._series:
+            self._series[name] = TraceSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, time_us: int, value: float) -> None:
+        """Append a sample to the series called ``name``."""
+        self.series(name).append(time_us, value)
+
+    def names(self) -> list[str]:
+        """All series names, in creation order."""
+        return list(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def add_sampler(
+        self,
+        events: EventQueue,
+        period_us: int,
+        name: str,
+        probe: Callable[[int], float],
+        start_us: int = 0,
+    ) -> PeriodicEvent:
+        """Sample ``probe(now)`` every ``period_us`` into series ``name``.
+
+        Returns the underlying :class:`PeriodicEvent` so callers can
+        stop the sampler.
+        """
+
+        def _sample(now: int) -> None:
+            self.record(name, now, probe(now))
+
+        sampler = PeriodicEvent(
+            events, period_us, _sample, start=start_us, label=f"sampler:{name}"
+        )
+        self._samplers.append(sampler)
+        return sampler
+
+    def stop_samplers(self) -> None:
+        """Stop all periodic samplers registered through this tracer."""
+        for sampler in self._samplers:
+            sampler.stop()
+        self._samplers.clear()
+
+
+__all__ = ["TracePoint", "TraceSeries", "Tracer"]

@@ -1,0 +1,47 @@
+"""SWiFT-style software feedback toolkit.
+
+The paper's controller "is implemented using the SWiFT software
+feedback toolkit [6]", in which a controller is a *circuit* of small
+feedback components computing a function of its inputs.  This package
+is a reimplementation of the parts of that toolkit the allocator
+needs:
+
+* stateless and stateful signal-processing blocks
+  (:mod:`repro.swift.components`): gain, summing junction, integrator
+  with anti-windup, differentiator, first-order low-pass filter,
+  clamp and dead-band;
+* a :class:`~repro.swift.pid.PIDController` assembled from those blocks
+  (the G function of Figure 3);
+* a :class:`~repro.swift.circuit.Circuit` container for composing and
+  stepping a whole dataflow graph at the controller's sampling rate.
+"""
+
+from repro.swift.circuit import Circuit, Wire
+from repro.swift.components import (
+    Clamp,
+    Component,
+    DeadBand,
+    Differentiator,
+    Gain,
+    Integrator,
+    LowPassFilter,
+    MovingAverage,
+    SummingJunction,
+)
+from repro.swift.pid import PIDController, PIDGains
+
+__all__ = [
+    "Circuit",
+    "Clamp",
+    "Component",
+    "DeadBand",
+    "Differentiator",
+    "Gain",
+    "Integrator",
+    "LowPassFilter",
+    "MovingAverage",
+    "PIDController",
+    "PIDGains",
+    "SummingJunction",
+    "Wire",
+]

@@ -1,0 +1,143 @@
+"""Feedback circuits.
+
+SWiFT models a controller as a dataflow circuit: named components wired
+together, stepped once per sampling interval.  The proportion allocator
+only needs linear chains (sum → PID → gain → clamp), but the circuit
+abstraction is exposed publicly so users can build richer controllers
+(e.g. cascaded filters for noisy progress metrics) without modifying
+the allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.swift.components import Component
+
+
+@dataclass
+class Wire:
+    """A directed connection between two named components."""
+
+    source: str
+    sink: str
+
+
+class Circuit:
+    """A linear-or-branching dataflow graph of :class:`Component` blocks.
+
+    Components are registered by name; wires connect a source
+    component's output to a sink component's input.  A component with no
+    incoming wire is an input of the circuit and is fed from the
+    ``inputs`` mapping given to :meth:`step`; a component with no
+    outgoing wire is an output and its value appears in the result
+    mapping.
+
+    The graph must be acyclic (feedback loops close *outside* the
+    circuit, through the plant — here, the scheduler and the
+    application's queues).
+    """
+
+    def __init__(self) -> None:
+        self._components: dict[str, Component] = {}
+        self._wires: list[Wire] = []
+        self._order: Optional[list[str]] = None
+
+    def add(self, name: str, component: Component) -> "Circuit":
+        """Register ``component`` under ``name`` (chainable)."""
+        if name in self._components:
+            raise ValueError(f"component {name!r} already exists in circuit")
+        self._components[name] = component
+        self._order = None
+        return self
+
+    def connect(self, source: str, sink: str) -> "Circuit":
+        """Wire ``source``'s output to ``sink``'s input (chainable)."""
+        for name in (source, sink):
+            if name not in self._components:
+                raise ValueError(f"unknown component {name!r}")
+        if any(w.sink == sink for w in self._wires):
+            raise ValueError(
+                f"component {sink!r} already has an incoming wire; "
+                "components take a single input"
+            )
+        self._wires.append(Wire(source, sink))
+        self._order = None
+        return self
+
+    def chain(self, *names: str) -> "Circuit":
+        """Connect ``names`` in sequence: a → b → c …"""
+        for source, sink in zip(names, names[1:]):
+            self.connect(source, sink)
+        return self
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def inputs(self) -> list[str]:
+        """Names of components with no incoming wire."""
+        sinks = {w.sink for w in self._wires}
+        return [name for name in self._components if name not in sinks]
+
+    def outputs(self) -> list[str]:
+        """Names of components with no outgoing wire."""
+        sources = {w.source for w in self._wires}
+        return [name for name in self._components if name not in sources]
+
+    def _topological_order(self) -> list[str]:
+        if self._order is not None:
+            return self._order
+        incoming: dict[str, int] = {name: 0 for name in self._components}
+        for wire in self._wires:
+            incoming[wire.sink] += 1
+        frontier = [name for name, count in incoming.items() if count == 0]
+        order: list[str] = []
+        while frontier:
+            name = frontier.pop(0)
+            order.append(name)
+            for wire in self._wires:
+                if wire.source == name:
+                    incoming[wire.sink] -= 1
+                    if incoming[wire.sink] == 0:
+                        frontier.append(wire.sink)
+        if len(order) != len(self._components):
+            raise ValueError("circuit contains a cycle; feedback must close "
+                             "outside the circuit")
+        self._order = order
+        return order
+
+    def step(self, inputs: dict[str, float], dt: float) -> dict[str, float]:
+        """Advance the whole circuit one sampling interval.
+
+        ``inputs`` maps input-component names to their sample values;
+        the return value maps output-component names to their outputs.
+        """
+        order = self._topological_order()
+        values: dict[str, float] = {}
+        input_names = set(self.inputs())
+        for name in order:
+            component = self._components[name]
+            if name in input_names:
+                if name not in inputs:
+                    raise ValueError(f"missing input for circuit component {name!r}")
+                incoming_value = inputs[name]
+            else:
+                source = next(w.source for w in self._wires if w.sink == name)
+                incoming_value = values[source]
+            values[name] = component.step(incoming_value, dt)
+        return {name: values[name] for name in self.outputs()}
+
+    def reset(self) -> None:
+        """Reset every component's internal state."""
+        for component in self._components.values():
+            component.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+
+__all__ = ["Circuit", "Wire"]

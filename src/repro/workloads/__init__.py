@@ -1,0 +1,51 @@
+"""Workloads.
+
+Simulated applications used by the examples, experiments and
+benchmarks.  Each corresponds to an application class the paper
+discusses:
+
+* :mod:`repro.workloads.pulse` — the variable-rate producer/consumer
+  pipeline used for the responsiveness experiments (Figures 6 and 7);
+* :mod:`repro.workloads.cpu_hog` — the miscellaneous CPU-bound
+  competitor ("the load") of Figure 7;
+* :mod:`repro.workloads.pipeline` — a multi-stage multimedia pipeline
+  with an expensive decoder stage (Section 4.4's example);
+* :mod:`repro.workloads.webserver` — a server consuming requests from a
+  socket (the "server" class of Section 3.2);
+* :mod:`repro.workloads.interactive` — a tty-driven interactive job;
+* :mod:`repro.workloads.io_intensive` — a disk-bottlenecked consumer
+  (the "I/O intensive" class), which exercises the reclaim rule;
+* :mod:`repro.workloads.modem` — an isochronous software modem, the
+  paper's canonical real-time (reservation) application;
+* :mod:`repro.workloads.inversion` — the Mars-Pathfinder-style priority
+  inversion scenario from Section 2.
+"""
+
+from repro.workloads.cpu_hog import CpuHog
+from repro.workloads.interactive import InteractiveJob, InteractiveUser
+from repro.workloads.inversion import InversionResult, InversionScenario
+from repro.workloads.io_intensive import IoIntensiveJob
+from repro.workloads.modem import SoftwareModem
+from repro.workloads.pipeline import MultimediaPipeline, PipelineStageSpec
+from repro.workloads.pulse import (
+    PulsePipeline,
+    PulseSchedule,
+    RateSegment,
+)
+from repro.workloads.webserver import WebServer
+
+__all__ = [
+    "CpuHog",
+    "InteractiveJob",
+    "InteractiveUser",
+    "InversionResult",
+    "InversionScenario",
+    "IoIntensiveJob",
+    "MultimediaPipeline",
+    "PipelineStageSpec",
+    "PulsePipeline",
+    "PulseSchedule",
+    "RateSegment",
+    "SoftwareModem",
+    "WebServer",
+]

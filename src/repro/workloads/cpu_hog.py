@@ -1,0 +1,61 @@
+"""CPU hog.
+
+"For simplicity, the load corresponded to a miscellaneous job (no
+progress-metric) that tries to consume as much CPU as it can."  The hog
+never blocks and never registers a symbiotic interface, so the
+controller classifies it as miscellaneous and drives it with the
+constant-pressure heuristic; under overload it is squished.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.taxonomy import ThreadSpec
+from repro.sim.requests import Compute
+from repro.sim.thread import SimThread, ThreadEnv
+from repro.system import RealRateSystem
+
+
+class CpuHog:
+    """A thread that consumes every cycle it is given."""
+
+    def __init__(self, burst_us: int = 5_000, importance: float = 1.0) -> None:
+        if burst_us <= 0:
+            raise ValueError(f"burst must be positive, got {burst_us}")
+        self.burst_us = burst_us
+        self.importance = importance
+        self.thread: Optional[SimThread] = None
+
+    def body(self, env: ThreadEnv):
+        """Loop forever burning CPU in fixed-size bursts."""
+        while True:
+            yield Compute(self.burst_us)
+
+    @classmethod
+    def attach(
+        cls,
+        system: RealRateSystem,
+        name: str = "cpu.hog",
+        *,
+        burst_us: int = 5_000,
+        importance: float = 1.0,
+    ) -> "CpuHog":
+        """Create a hog thread under control of ``system``'s allocator."""
+        hog = cls(burst_us=burst_us, importance=importance)
+        hog.thread = system.spawn_controlled(
+            name,
+            hog.body,
+            spec=ThreadSpec(importance=importance),
+            importance=importance,
+        )
+        return hog
+
+    def cpu_seconds(self) -> float:
+        """Total CPU the hog has consumed, in seconds."""
+        if self.thread is None:
+            return 0.0
+        return self.thread.accounting.total_us / 1_000_000
+
+
+__all__ = ["CpuHog"]

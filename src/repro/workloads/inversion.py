@@ -1,0 +1,214 @@
+"""Priority inversion (the Mars Pathfinder scenario).
+
+Section 2 recounts the motivating failure: "Occasionally, a high
+priority task was blocked waiting for a mutex held by a low priority
+task.  Unfortunately, the low priority task was starved for CPU by
+several other tasks with medium priority.  Eventually, the system would
+detect that the high priority task was missing deadlines and would
+reset itself."
+
+:class:`InversionScenario` builds that task set:
+
+* a **high**-priority periodic task that briefly needs a shared mutex
+  every period (the bus manager),
+* a **low**-priority task that occasionally grabs the same mutex and
+  holds it across a chunk of computation (the meteorological task), and
+* one or more **medium**-priority CPU-bound tasks (the communication
+  tasks) that can starve the low task under priority scheduling.
+
+The scenario can be attached either to a plain fixed-priority kernel
+(reproducing the inversion, with or without priority inheritance) or to
+a full real-rate system, where the controller's guaranteed non-zero
+allocations prevent the starvation that makes the inversion unbounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.taxonomy import ThreadSpec
+from repro.ipc.mutex import Mutex
+from repro.sched.priority import FixedPriorityScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.requests import AcquireMutex, Compute, ReleaseMutex, Sleep
+from repro.sim.thread import SimThread, ThreadEnv
+from repro.system import RealRateSystem
+
+
+@dataclass
+class InversionResult:
+    """Outcome of an inversion run."""
+
+    iterations: int = 0
+    deadline_misses: int = 0
+    worst_latency_us: int = 0
+    latencies_us: list[int] = field(default_factory=list)
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of high-priority iterations that missed their deadline."""
+        if self.iterations == 0:
+            return 0.0
+        return self.deadline_misses / self.iterations
+
+
+class InversionScenario:
+    """The three-priority mutex-sharing task set."""
+
+    def __init__(
+        self,
+        *,
+        high_period_us: int = 100_000,
+        high_work_us: int = 2_000,
+        high_critical_us: int = 500,
+        low_critical_us: int = 9_000,
+        low_rest_us: int = 1_000,
+        medium_hogs: int = 2,
+        hog_burst_us: int = 5_000,
+        medium_initial_sleep_us: int = 26_000,
+    ) -> None:
+        self.high_period_us = high_period_us
+        self.high_work_us = high_work_us
+        self.high_critical_us = high_critical_us
+        self.low_critical_us = low_critical_us
+        self.low_rest_us = low_rest_us
+        self.medium_hogs = medium_hogs
+        self.hog_burst_us = hog_burst_us
+        self.medium_initial_sleep_us = medium_initial_sleep_us
+
+        self.mutex = Mutex("pathfinder.bus")
+        self.result = InversionResult()
+        self.high: Optional[SimThread] = None
+        self.low: Optional[SimThread] = None
+        self.hogs: list[SimThread] = []
+        self._iteration_start_us: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # thread bodies
+    # ------------------------------------------------------------------
+    def _high_body(self, env: ThreadEnv):
+        # The bus manager: every period, take the mutex briefly, then do
+        # its periodic work.  The deadline is the period itself.
+        next_release = env.now
+        while True:
+            start = env.now
+            self._iteration_start_us = start
+            yield AcquireMutex(self.mutex)
+            yield Compute(self.high_critical_us)
+            yield ReleaseMutex(self.mutex)
+            yield Compute(self.high_work_us)
+            latency = env.now - start
+            self.result.iterations += 1
+            self.result.latencies_us.append(latency)
+            if latency > self.high_period_us:
+                self.result.deadline_misses += 1
+            if latency > self.result.worst_latency_us:
+                self.result.worst_latency_us = latency
+            next_release += self.high_period_us
+            if env.now < next_release:
+                yield Sleep(next_release - env.now)
+
+    def pending_latency_us(self, now: int) -> int:
+        """Time the high task's current iteration has been running.
+
+        Under an unbounded inversion the iteration never completes, so
+        its latency never appears in ``result.latencies_us``; this
+        reports the in-flight latency instead (0 if no iteration has
+        started or the last one completed on time).
+        """
+        if self._iteration_start_us is None:
+            return 0
+        return max(0, now - self._iteration_start_us)
+
+    def effective_worst_latency_us(self, now: int) -> int:
+        """Worst of the completed and the in-flight iteration latencies."""
+        return max(self.result.worst_latency_us, self.pending_latency_us(now))
+
+    def _low_body(self, env: ThreadEnv):
+        # The meteorological task: grab the mutex, hold it across a
+        # chunk of work, release, then do unrelated work.
+        while True:
+            yield AcquireMutex(self.mutex)
+            yield Compute(self.low_critical_us)
+            yield ReleaseMutex(self.mutex)
+            yield Compute(self.low_rest_us)
+
+    def _hog_body(self, env: ThreadEnv):
+        # The communication tasks idle briefly at start-up (long enough
+        # for the low task to enter its critical section) and are CPU
+        # bound from then on — the interleaving that triggered the
+        # Pathfinder inversion.
+        if self.medium_initial_sleep_us > 0:
+            yield Sleep(self.medium_initial_sleep_us)
+        while True:
+            yield Compute(self.hog_burst_us)
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def attach_priority(self, kernel: Kernel) -> "InversionScenario":
+        """Attach to a kernel running a :class:`FixedPriorityScheduler`.
+
+        The kernel's scheduler must already be a fixed-priority
+        scheduler (with or without inheritance); thread priorities are
+        high=30, medium=20, low=10.
+        """
+        if not isinstance(kernel.scheduler, FixedPriorityScheduler):
+            raise TypeError(
+                "attach_priority requires a kernel using FixedPriorityScheduler, "
+                f"got {type(kernel.scheduler).__name__}"
+            )
+        self.high = kernel.spawn("inversion.high", self._high_body, priority=30)
+        self.low = kernel.spawn("inversion.low", self._low_body, priority=10)
+        self.hogs = [
+            kernel.spawn(f"inversion.medium{i}", self._hog_body, priority=20)
+            for i in range(self.medium_hogs)
+        ]
+        return self
+
+    def attach_real_rate(self, system: RealRateSystem) -> "InversionScenario":
+        """Attach to a full real-rate system.
+
+        The high task declares a real-time reservation; the low task and
+        the hogs provide nothing and are treated as miscellaneous
+        threads — which is precisely why they cannot be starved, and why
+        the mutex is always released promptly.
+
+        The reservation uses a short period (like the paper's
+        latency-sensitive interactive jobs) so the rate-monotonic
+        dispatcher serves the task promptly whenever it is runnable,
+        and a proportion generous enough to complete the per-iteration
+        work within a few reservation periods.
+        """
+        reservation_period_us = min(10_000, self.high_period_us)
+        work_us = self.high_critical_us + self.high_work_us
+        # Enough budget to finish the iteration's work within roughly a
+        # quarter of the task's own period, plus headroom.
+        needed_ppt = min(
+            500,
+            max(
+                50,
+                work_us * 4_000 // self.high_period_us + 100,
+            ),
+        )
+        self.high = system.spawn_controlled(
+            "inversion.high",
+            self._high_body,
+            spec=ThreadSpec(
+                proportion_ppt=needed_ppt, period_us=reservation_period_us
+            ),
+        )
+        self.low = system.spawn_controlled(
+            "inversion.low", self._low_body, spec=ThreadSpec()
+        )
+        self.hogs = [
+            system.spawn_controlled(
+                f"inversion.medium{i}", self._hog_body, spec=ThreadSpec()
+            )
+            for i in range(self.medium_hogs)
+        ]
+        return self
+
+
+__all__ = ["InversionResult", "InversionScenario"]

@@ -1,0 +1,184 @@
+"""Multimedia pipeline.
+
+Section 4.4: "we have a multimedia pipeline of processes that
+communicate with a shared queue.  Our controller automatically
+identifies that one stage of the pipeline has vastly different CPU
+requirements than the others (the video decoder), even though all the
+processes have the same priority."
+
+:class:`MultimediaPipeline` builds an N-stage pipeline: a source with a
+fixed reservation that injects frames at a constant rate, interior
+stages that each consume a frame, spend a stage-specific amount of CPU
+on it and forward it, and a sink that consumes the final frames.  All
+interior stages are real-rate threads; the controller must discover
+that the "decoder" stage needs far more CPU than the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.taxonomy import ThreadSpec
+from repro.ipc.bounded_buffer import BoundedBuffer
+from repro.sim.requests import Compute, Get, Put
+from repro.sim.thread import SimThread, ThreadEnv
+from repro.system import RealRateSystem
+
+
+@dataclass(frozen=True)
+class PipelineStageSpec:
+    """Description of one interior pipeline stage."""
+
+    name: str
+    cpu_us_per_frame: int
+
+    def __post_init__(self) -> None:
+        if self.cpu_us_per_frame <= 0:
+            raise ValueError(
+                f"stage {self.name!r}: CPU per frame must be positive, got "
+                f"{self.cpu_us_per_frame}"
+            )
+
+
+#: A typical software video pipeline: cheap demux, expensive decode,
+#: moderate colour conversion / display.
+DEFAULT_STAGES = (
+    PipelineStageSpec("demux", cpu_us_per_frame=300),
+    PipelineStageSpec("decode", cpu_us_per_frame=4_000),
+    PipelineStageSpec("display", cpu_us_per_frame=800),
+)
+
+
+class MultimediaPipeline:
+    """A source → stages → sink pipeline over bounded buffers."""
+
+    def __init__(
+        self,
+        system: RealRateSystem,
+        stages: tuple[PipelineStageSpec, ...] = DEFAULT_STAGES,
+        *,
+        frame_bytes: int = 1_000,
+        frames_per_second: int = 30,
+        queue_capacity_bytes: int = 8_000,
+        source_proportion_ppt: int = 50,
+        source_period_us: int = 20_000,
+    ) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one interior stage")
+        self.system = system
+        self.stages = stages
+        self.frame_bytes = frame_bytes
+        self.frames_per_second = frames_per_second
+        self.queue_capacity_bytes = queue_capacity_bytes
+        self.source_proportion_ppt = source_proportion_ppt
+        self.source_period_us = source_period_us
+
+        self.source: Optional[SimThread] = None
+        self.sink: Optional[SimThread] = None
+        self.stage_threads: list[SimThread] = []
+        self.queues: list[BoundedBuffer] = []
+        self.frames_delivered = 0
+
+    # ------------------------------------------------------------------
+    # thread bodies
+    # ------------------------------------------------------------------
+    def _source_body(self, env: ThreadEnv):
+        # The source models capture: its fixed reservation paces frame
+        # injection.  Its CPU budget per second divided by the frame
+        # rate gives the CPU cost per frame, so with its reservation it
+        # emits exactly frames_per_second frames each second.
+        budget_us_per_second = self.source_proportion_ppt * 1_000_000 // 1000
+        per_frame_us = max(1, budget_us_per_second // self.frames_per_second)
+        while True:
+            yield Compute(per_frame_us)
+            yield Put(self.queues[0], self.frame_bytes)
+
+    def _stage_body_factory(self, index: int, spec: PipelineStageSpec):
+        def body(env: ThreadEnv):
+            while True:
+                yield Get(self.queues[index], self.frame_bytes)
+                yield Compute(spec.cpu_us_per_frame)
+                yield Put(self.queues[index + 1], self.frame_bytes)
+
+        return body
+
+    def _sink_body(self, env: ThreadEnv):
+        while True:
+            yield Get(self.queues[-1], self.frame_bytes)
+            yield Compute(100)
+            self.frames_delivered += 1
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, system: RealRateSystem, **kwargs) -> "MultimediaPipeline":
+        """Build the pipeline inside ``system`` and return it."""
+        pipeline = cls(system, **kwargs)
+        pipeline._build()
+        return pipeline
+
+    def _build(self) -> None:
+        self.source = self.system.spawn_controlled(
+            "pipeline.source",
+            self._source_body,
+            spec=ThreadSpec(
+                proportion_ppt=self.source_proportion_ppt,
+                period_us=self.source_period_us,
+            ),
+        )
+        self.stage_threads = []
+        for index, spec in enumerate(self.stages):
+            thread = self.system.spawn_controlled(
+                f"pipeline.{spec.name}",
+                self._stage_body_factory(index, spec),
+                spec=ThreadSpec(),
+            )
+            self.stage_threads.append(thread)
+        self.sink = self.system.spawn_controlled(
+            "pipeline.sink", self._sink_body, spec=ThreadSpec()
+        )
+
+        # One queue between every adjacent pair: source→s0, s0→s1, …, sN→sink.
+        endpoints = [self.source, *self.stage_threads, self.sink]
+        self.queues = []
+        for index in range(len(endpoints) - 1):
+            queue = self.system.open_queue(
+                f"pipeline.q{index}",
+                producer=endpoints[index],
+                consumer=endpoints[index + 1],
+                capacity_bytes=self.queue_capacity_bytes,
+            )
+            self.queues.append(queue)
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    def allocations_ppt(self) -> dict[str, int]:
+        """Current controller allocation for every pipeline thread.
+
+        Note that a stage that comfortably keeps up with its input drains
+        its queue and is then allocated very little until work arrives
+        again, so this instantaneous snapshot can be small; use
+        :meth:`cpu_shares` for the time-averaged picture.
+        """
+        allocator = self.system.allocator
+        threads = [self.source, *self.stage_threads, self.sink]
+        return {t.name: allocator.current_allocation_ppt(t) for t in threads}
+
+    def cpu_shares(self) -> dict[str, float]:
+        """Fraction of elapsed CPU time each pipeline thread consumed."""
+        elapsed = max(1, self.system.now)
+        threads = [self.source, *self.stage_threads, self.sink]
+        return {t.name: t.accounting.total_us / elapsed for t in threads}
+
+    def decoder_thread(self) -> SimThread:
+        """The most CPU-hungry interior stage's thread."""
+        heaviest = max(
+            range(len(self.stages)), key=lambda i: self.stages[i].cpu_us_per_frame
+        )
+        return self.stage_threads[heaviest]
+
+
+__all__ = ["DEFAULT_STAGES", "MultimediaPipeline", "PipelineStageSpec"]

@@ -1,0 +1,137 @@
+"""Web server workload.
+
+"Servers are essentially the consumer of a bounded buffer, where the
+producer may or may not be on the same machine."  Requests arrive on a
+socket at a (possibly time-varying) rate; the server thread consumes a
+request, spends a service time of CPU on it, and loops.  The server is
+a real-rate thread: the controller discovers the allocation it needs to
+keep the socket's receive buffer from growing, so the achieved request
+throughput tracks the offered load — the real-world rate the paper says
+real-rate applications must follow.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.taxonomy import ThreadSpec
+from repro.ipc.roles import Role
+from repro.ipc.sock import Socket
+from repro.sim.requests import Compute, Get, Put, Sleep
+from repro.sim.thread import SimThread, ThreadEnv
+from repro.system import RealRateSystem
+
+
+class WebServer:
+    """A request generator plus a controller-managed server thread.
+
+    Parameters
+    ----------
+    request_bytes:
+        Size of each request in the socket buffer.
+    service_cpu_us:
+        CPU the server spends per request.
+    requests_per_second:
+        Offered load; either a constant or a callable of virtual time
+        (microseconds) for time-varying load.
+    socket_capacity_bytes:
+        Receive-buffer size (the progress metric's denominator).
+    importance:
+        The server's importance weight for overload squishing.
+    """
+
+    def __init__(
+        self,
+        request_bytes: int = 512,
+        service_cpu_us: int = 1_500,
+        requests_per_second: float | Callable[[int], float] = 200.0,
+        socket_capacity_bytes: int = 32 * 1024,
+        importance: float = 1.0,
+    ) -> None:
+        if request_bytes <= 0:
+            raise ValueError(f"request size must be positive, got {request_bytes}")
+        if service_cpu_us <= 0:
+            raise ValueError(
+                f"service time must be positive, got {service_cpu_us}"
+            )
+        self.request_bytes = request_bytes
+        self.service_cpu_us = service_cpu_us
+        self._load = requests_per_second
+        self.socket_capacity_bytes = socket_capacity_bytes
+        self.importance = importance
+
+        self.socket: Optional[Socket] = None
+        self.generator: Optional[SimThread] = None
+        self.server: Optional[SimThread] = None
+        self.requests_sent = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    def offered_load(self, now_us: int) -> float:
+        """Requests per second being offered at virtual time ``now_us``."""
+        if callable(self._load):
+            return float(self._load(now_us))
+        return float(self._load)
+
+    # ------------------------------------------------------------------
+    # thread bodies
+    # ------------------------------------------------------------------
+    def _generator_body(self, env: ThreadEnv):
+        # The generator stands in for the network: negligible CPU per
+        # request, paced by sleeping between arrivals.
+        while True:
+            rate = max(1e-6, self.offered_load(env.now))
+            inter_arrival_us = max(1, int(round(1_000_000 / rate)))
+            yield Sleep(inter_arrival_us)
+            yield Compute(10)
+            yield Put(self.socket, self.request_bytes)
+            self.requests_sent += 1
+
+    def _server_body(self, env: ThreadEnv):
+        while True:
+            yield Get(self.socket, self.request_bytes)
+            yield Compute(self.service_cpu_us)
+            self.requests_served += 1
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, system: RealRateSystem, name: str = "web", **kwargs) -> "WebServer":
+        """Build the server and its request source inside ``system``."""
+        server = cls(**kwargs)
+        server.socket = Socket(f"{name}.socket", server.socket_capacity_bytes)
+        # The generator is a lightweight real-time thread: it mostly
+        # sleeps, so a tiny reservation suffices and keeps arrivals
+        # independent of the controller's decisions.
+        server.generator = system.spawn_controlled(
+            f"{name}.client",
+            server._generator_body,
+            spec=ThreadSpec(proportion_ppt=20, period_us=5_000),
+        )
+        server.server = system.spawn_controlled(
+            f"{name}.server",
+            server._server_body,
+            spec=ThreadSpec(importance=server.importance),
+            importance=server.importance,
+        )
+        system.link(server.generator, server.socket, Role.PRODUCER)
+        system.link(server.server, server.socket, Role.CONSUMER)
+        return server
+
+    # ------------------------------------------------------------------
+    # measurement helpers
+    # ------------------------------------------------------------------
+    def backlog_requests(self) -> float:
+        """Requests currently queued in the socket buffer."""
+        if self.socket is None:
+            return 0.0
+        return self.socket.fill_bytes() / self.request_bytes
+
+    def required_fraction(self, offered_rps: Optional[float] = None) -> float:
+        """CPU fraction needed to serve the offered load."""
+        rate = offered_rps if offered_rps is not None else self.offered_load(0)
+        return rate * self.service_cpu_us / 1_000_000
+
+
+__all__ = ["WebServer"]

@@ -1,0 +1,197 @@
+"""Unit tests for the proportion estimator (Figure 4) and period heuristic."""
+
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.estimator import ProportionEstimator
+from repro.core.period import PeriodEstimator
+from repro.monitor.usage import UsageSample
+
+
+def usage(used_us: int, interval_us: int, allocated_ppt: int) -> UsageSample:
+    return UsageSample(
+        used_us=used_us,
+        interval_us=interval_us,
+        allocated_us=interval_us * allocated_ppt // 1000,
+    )
+
+
+def full_usage(interval_us: int, allocated_ppt: int) -> UsageSample:
+    allocated = interval_us * allocated_ppt // 1000
+    return UsageSample(used_us=allocated, interval_us=interval_us, allocated_us=allocated)
+
+
+class TestProportionEstimator:
+    def test_positive_pressure_raises_allocation(self):
+        config = ControllerConfig()
+        estimator = ProportionEstimator(config)
+        dt = config.controller_period_s
+        current = config.min_proportion_ppt
+        for _ in range(50):
+            result = estimator.estimate(0.4, full_usage(10_000, current), current, dt)
+            current = result.desired_ppt
+        assert current > 200
+
+    def test_negative_pressure_lowers_allocation(self):
+        config = ControllerConfig()
+        estimator = ProportionEstimator(config)
+        dt = config.controller_period_s
+        current = config.min_proportion_ppt
+        for _ in range(100):
+            current = estimator.estimate(
+                0.4, full_usage(10_000, current), current, dt
+            ).desired_ppt
+        high = current
+        for _ in range(100):
+            current = estimator.estimate(
+                -0.4, full_usage(10_000, current), current, dt
+            ).desired_ppt
+        assert current < high
+
+    def test_output_respects_bounds(self):
+        config = ControllerConfig()
+        estimator = ProportionEstimator(config)
+        dt = config.controller_period_s
+        current = config.min_proportion_ppt
+        for _ in range(500):
+            current = estimator.estimate(
+                0.5, full_usage(10_000, current), current, dt
+            ).desired_ppt
+        assert current == config.max_proportion_ppt
+        for _ in range(2_000):
+            current = estimator.estimate(
+                -0.5, full_usage(10_000, current), current, dt
+            ).desired_ppt
+        assert current == config.min_proportion_ppt
+
+    def test_zero_pressure_holds_allocation(self):
+        """The integral term preserves the level once the error is zero."""
+        config = ControllerConfig()
+        estimator = ProportionEstimator(config)
+        dt = config.controller_period_s
+        current = config.min_proportion_ppt
+        for _ in range(60):
+            current = estimator.estimate(
+                0.3, full_usage(10_000, current), current, dt
+            ).desired_ppt
+        level = current
+        for _ in range(20):
+            current = estimator.estimate(
+                0.0, full_usage(10_000, current), current, dt
+            ).desired_ppt
+        assert current == pytest.approx(level, abs=level * 0.15 + 5)
+
+    def test_reclaim_fires_for_unused_allocation(self):
+        """Positive pressure but unused allocation: the Figure 4 "too
+        generous" branch must override the PID and reduce the
+        allocation (the disk-bottlenecked case)."""
+        config = ControllerConfig()
+        estimator = ProportionEstimator(config)
+        dt = config.controller_period_s
+        current = 500
+        reclaimed = False
+        for _ in range(30):
+            result = estimator.estimate(
+                0.4, usage(0, 10_000, current), current, dt
+            )
+            reclaimed = reclaimed or result.reclaimed
+            current = result.desired_ppt
+        assert reclaimed
+        assert current < 500
+        assert estimator.reclaim_count > 0
+
+    def test_reclaim_reduces_by_constant_steps(self):
+        config = ControllerConfig(reclaim_decrement_ppt=50, unused_threshold=0.5)
+        estimator = ProportionEstimator(config)
+        dt = config.controller_period_s
+        # Warm the usage EMA down so the reclaim rule is active.
+        current = 600
+        for _ in range(10):
+            result = estimator.estimate(0.4, usage(0, 10_000, current), current, dt)
+            current = result.desired_ppt
+        # Once reclaiming, each step drops the allocation by <= C.
+        previous = current
+        result = estimator.estimate(0.4, usage(0, 10_000, previous), previous, dt)
+        assert result.reclaimed
+        assert 0 < previous - result.desired_ppt <= 50
+
+    def test_no_reclaim_when_allocation_fully_used(self):
+        config = ControllerConfig()
+        estimator = ProportionEstimator(config)
+        dt = config.controller_period_s
+        current = 400
+        for _ in range(50):
+            result = estimator.estimate(
+                0.1, full_usage(10_000, current), current, dt
+            )
+            assert not result.reclaimed
+            current = result.desired_ppt
+
+    def test_no_reclaim_at_minimum_proportion(self):
+        config = ControllerConfig()
+        estimator = ProportionEstimator(config)
+        dt = config.controller_period_s
+        current = config.min_proportion_ppt
+        for _ in range(20):
+            result = estimator.estimate(0.0, usage(0, 10_000, current), current, dt)
+            assert not result.reclaimed
+
+    def test_reset(self):
+        config = ControllerConfig()
+        estimator = ProportionEstimator(config)
+        estimator.estimate(0.5, full_usage(10_000, 100), 100, 0.01)
+        estimator.reset()
+        assert estimator.last_desired_ppt == config.min_proportion_ppt
+        assert estimator.reclaim_count == 0
+
+
+class TestPeriodEstimator:
+    def test_small_allocation_grows_period(self):
+        config = ControllerConfig(adapt_period=True)
+        estimator = PeriodEstimator(config, dispatch_interval_us=1_000)
+        start = estimator.period_us
+        decision = estimator.update(proportion_ppt=10, fill_level=0.5)
+        assert decision.grew_for_quantization
+        assert decision.period_us > start
+
+    def test_period_capped_at_maximum(self):
+        config = ControllerConfig(adapt_period=True, period_max_us=60_000)
+        estimator = PeriodEstimator(config, dispatch_interval_us=1_000)
+        for _ in range(100):
+            estimator.update(proportion_ppt=5, fill_level=0.5)
+        assert estimator.period_us <= 60_000
+
+    def test_large_allocation_keeps_period(self):
+        config = ControllerConfig(adapt_period=True)
+        estimator = PeriodEstimator(config, dispatch_interval_us=1_000)
+        start = estimator.period_us
+        decision = estimator.update(proportion_ppt=500, fill_level=0.5)
+        assert not decision.grew_for_quantization
+        assert decision.period_us == start
+
+    def test_oscillation_shrinks_period(self):
+        config = ControllerConfig(adapt_period=True, oscillation_threshold=0.1)
+        estimator = PeriodEstimator(config, dispatch_interval_us=1_000)
+        fills = [0.1, 0.9] * 10
+        shrank = False
+        for fill in fills:
+            decision = estimator.update(proportion_ppt=500, fill_level=fill)
+            shrank = shrank or decision.shrank_for_jitter
+        assert shrank
+        assert estimator.period_us < config.default_period_us
+
+    def test_period_floored_at_minimum(self):
+        config = ControllerConfig(
+            adapt_period=True, oscillation_threshold=0.05, period_min_us=8_000
+        )
+        estimator = PeriodEstimator(config, dispatch_interval_us=1_000)
+        for i in range(200):
+            estimator.update(proportion_ppt=500, fill_level=(i % 2) * 1.0)
+        assert estimator.period_us >= 8_000
+
+    def test_initial_period_from_spec(self):
+        config = ControllerConfig(adapt_period=True)
+        estimator = PeriodEstimator(
+            config, dispatch_interval_us=1_000, initial_period_us=42_000
+        )
+        assert estimator.period_us == 42_000

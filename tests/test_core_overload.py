@@ -1,0 +1,130 @@
+"""Unit tests for admission control and the squish policies."""
+
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.errors import AdmissionError
+from repro.core.overload import (
+    FairShareSquish,
+    SquishRequest,
+    WeightedFairShareSquish,
+    check_admission,
+)
+
+
+class TestSquishRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquishRequest(key=1, desired_ppt=-1)
+        with pytest.raises(ValueError):
+            SquishRequest(key=1, desired_ppt=100, importance=0)
+
+
+class TestFairShareSquish:
+    def test_no_squish_when_fits(self):
+        policy = FairShareSquish()
+        requests = [SquishRequest(1, 200), SquishRequest(2, 300)]
+        grants = policy.squish(requests, available_ppt=600)
+        assert grants == {1: 200, 2: 300}
+
+    def test_proportional_reduction(self):
+        policy = FairShareSquish()
+        requests = [SquishRequest(1, 600), SquishRequest(2, 300)]
+        grants = policy.squish(requests, available_ppt=450)
+        # Scaled by one half, preserving the 2:1 ratio.
+        assert grants[1] == pytest.approx(300, abs=2)
+        assert grants[2] == pytest.approx(150, abs=2)
+
+    def test_equal_desires_get_equal_grants(self):
+        policy = FairShareSquish()
+        requests = [SquishRequest(i, 900) for i in range(3)]
+        grants = policy.squish(requests, available_ppt=600)
+        values = list(grants.values())
+        assert max(values) - min(values) <= 1
+        assert sum(values) <= 600
+
+    def test_total_never_exceeds_available(self):
+        policy = FairShareSquish()
+        requests = [SquishRequest(i, 500 + i * 100) for i in range(5)]
+        grants = policy.squish(requests, available_ppt=700)
+        assert sum(grants.values()) <= 700 + len(requests)  # floor rounding slack
+
+    def test_small_request_not_inflated(self):
+        policy = FairShareSquish()
+        requests = [SquishRequest(1, 50), SquishRequest(2, 900)]
+        grants = policy.squish(requests, available_ppt=800)
+        assert grants[1] <= 50
+
+    def test_empty_requests(self):
+        assert FairShareSquish().squish([], 500) == {}
+
+    def test_zero_available_floors_at_minimum(self):
+        policy = FairShareSquish(min_proportion_ppt=5)
+        requests = [SquishRequest(1, 400), SquishRequest(2, 400)]
+        grants = policy.squish(requests, available_ppt=0)
+        assert grants[1] == 5
+        assert grants[2] == 5
+
+    def test_minimum_proportion_enforced(self):
+        policy = FairShareSquish(min_proportion_ppt=10)
+        requests = [SquishRequest(1, 900), SquishRequest(2, 900), SquishRequest(3, 20)]
+        grants = policy.squish(requests, available_ppt=100)
+        assert all(g >= 10 for g in grants.values())
+
+
+class TestWeightedFairShareSquish:
+    def test_importance_biases_shares(self):
+        policy = WeightedFairShareSquish()
+        requests = [
+            SquishRequest(1, 900, importance=1.0),
+            SquishRequest(2, 900, importance=3.0),
+        ]
+        grants = policy.squish(requests, available_ppt=400)
+        assert grants[2] > grants[1]
+        assert grants[2] / grants[1] == pytest.approx(3.0, rel=0.1)
+
+    def test_importance_cannot_starve(self):
+        policy = WeightedFairShareSquish(min_proportion_ppt=5)
+        requests = [
+            SquishRequest(1, 900, importance=0.001),
+            SquishRequest(2, 900, importance=1_000.0),
+        ]
+        grants = policy.squish(requests, available_ppt=500)
+        assert grants[1] >= 5
+
+    def test_equal_importance_reduces_to_fair_share(self):
+        weighted = WeightedFairShareSquish()
+        fair = FairShareSquish()
+        requests = [SquishRequest(1, 600), SquishRequest(2, 300)]
+        assert weighted.squish(requests, 450) == fair.squish(requests, 450)
+
+    def test_capped_request_redistributes(self):
+        policy = WeightedFairShareSquish()
+        requests = [
+            SquishRequest(1, 100, importance=10.0),  # wants little, high importance
+            SquishRequest(2, 900, importance=1.0),
+        ]
+        grants = policy.squish(requests, available_ppt=600)
+        assert grants[1] == 100          # capped at its own desire
+        assert grants[2] >= 400          # leftover goes to the other request
+
+
+class TestAdmissionControl:
+    def test_accepts_within_threshold(self):
+        config = ControllerConfig(admission_threshold_ppt=800)
+        check_admission(config, existing_real_time_ppt=300, requested_ppt=400,
+                        thread_name="rt")
+
+    def test_rejects_over_threshold(self):
+        config = ControllerConfig(admission_threshold_ppt=800)
+        with pytest.raises(AdmissionError) as excinfo:
+            check_admission(config, existing_real_time_ppt=700, requested_ppt=200,
+                            thread_name="rt")
+        assert excinfo.value.requested_ppt == 200
+        assert excinfo.value.available_ppt == 100
+        assert "rt" in str(excinfo.value)
+
+    def test_exact_fit_accepted(self):
+        config = ControllerConfig(admission_threshold_ppt=800)
+        check_admission(config, existing_real_time_ppt=600, requested_ppt=200,
+                        thread_name="rt")

@@ -1,0 +1,112 @@
+"""Unit tests for the thread taxonomy and the controller configuration."""
+
+import pytest
+
+from repro.core.config import ControllerConfig
+from repro.core.errors import ControllerError
+from repro.core.taxonomy import ThreadClass, ThreadSpec, classify
+from repro.swift.pid import PIDGains
+
+
+class TestThreadSpec:
+    def test_defaults(self):
+        spec = ThreadSpec()
+        assert not spec.specifies_proportion
+        assert not spec.specifies_period
+        assert spec.importance == 1.0
+        assert not spec.interactive
+
+    def test_invalid_proportion(self):
+        with pytest.raises(ControllerError):
+            ThreadSpec(proportion_ppt=0)
+        with pytest.raises(ControllerError):
+            ThreadSpec(proportion_ppt=1_001)
+
+    def test_invalid_period(self):
+        with pytest.raises(ControllerError):
+            ThreadSpec(period_us=0)
+
+    def test_invalid_importance(self):
+        with pytest.raises(ControllerError):
+            ThreadSpec(importance=0)
+
+
+class TestClassification:
+    def test_real_time(self):
+        spec = ThreadSpec(proportion_ppt=100, period_us=10_000)
+        assert classify(spec, has_progress_metric=False) is ThreadClass.REAL_TIME
+        # A progress metric does not demote a full reservation.
+        assert classify(spec, has_progress_metric=True) is ThreadClass.REAL_TIME
+
+    def test_aperiodic_real_time(self):
+        spec = ThreadSpec(proportion_ppt=100)
+        assert (
+            classify(spec, has_progress_metric=False)
+            is ThreadClass.APERIODIC_REAL_TIME
+        )
+
+    def test_real_rate(self):
+        assert classify(ThreadSpec(), True) is ThreadClass.REAL_RATE
+        # Specifying only a period still leaves the proportion to feedback.
+        assert classify(ThreadSpec(period_us=10_000), True) is ThreadClass.REAL_RATE
+
+    def test_miscellaneous(self):
+        assert classify(ThreadSpec(), False) is ThreadClass.MISCELLANEOUS
+
+    def test_squishability(self):
+        assert ThreadClass.REAL_RATE.is_squishable
+        assert ThreadClass.MISCELLANEOUS.is_squishable
+        assert not ThreadClass.REAL_TIME.is_squishable
+        assert not ThreadClass.APERIODIC_REAL_TIME.is_squishable
+
+    def test_reservation_spec_flag(self):
+        assert ThreadClass.REAL_TIME.has_reservation_spec
+        assert ThreadClass.APERIODIC_REAL_TIME.has_reservation_spec
+        assert not ThreadClass.REAL_RATE.has_reservation_spec
+
+
+class TestControllerConfig:
+    def test_defaults_valid(self):
+        config = ControllerConfig()
+        assert config.controller_period_us == 10_000
+        assert config.controller_period_s == pytest.approx(0.01)
+        assert 0 < config.min_fraction < config.max_fraction <= 1
+
+    def test_paper_default_period(self):
+        assert ControllerConfig().default_period_us == 30_000
+
+    def test_invalid_controller_period(self):
+        with pytest.raises(ControllerError):
+            ControllerConfig(controller_period_us=0)
+
+    def test_invalid_setpoint(self):
+        with pytest.raises(ControllerError):
+            ControllerConfig(setpoint_fill=1.5)
+
+    def test_invalid_proportion_bounds(self):
+        with pytest.raises(ControllerError):
+            ControllerConfig(min_proportion_ppt=0)
+        with pytest.raises(ControllerError):
+            ControllerConfig(min_proportion_ppt=500, max_proportion_ppt=100)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ControllerError):
+            ControllerConfig(overload_threshold_ppt=0)
+        with pytest.raises(ControllerError):
+            ControllerConfig(admission_threshold_ppt=2_000)
+
+    def test_invalid_k_scale(self):
+        with pytest.raises(ControllerError):
+            ControllerConfig(k_scale=0)
+
+    def test_invalid_unused_threshold(self):
+        with pytest.raises(ControllerError):
+            ControllerConfig(unused_threshold=1.5)
+
+    def test_invalid_period_bounds(self):
+        with pytest.raises(ControllerError):
+            ControllerConfig(period_min_us=10_000, period_max_us=5_000)
+
+    def test_custom_gains_accepted(self):
+        config = ControllerConfig(pid_gains=PIDGains(kp=1.0, ki=2.0, kd=0.1))
+        assert config.pid_gains.ki == 2.0

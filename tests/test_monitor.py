@@ -1,0 +1,155 @@
+"""Unit tests for progress and usage monitoring."""
+
+import pytest
+
+from repro.ipc.bounded_buffer import BoundedBuffer
+from repro.ipc.registry import SymbioticRegistry
+from repro.ipc.roles import Role
+from repro.monitor.progress import (
+    ConstantPressureSource,
+    ProgressSampler,
+    QueueFillMonitor,
+)
+from repro.monitor.usage import UsageMonitor
+from repro.sim.thread import SimThread
+
+
+class TestQueueFillMonitor:
+    def _make(self, role, fill, capacity=1_000, setpoint=0.5):
+        registry = SymbioticRegistry()
+        thread = SimThread("t")
+        queue = BoundedBuffer("q", capacity)
+        if fill:
+            queue.commit_put(fill)
+        linkage = registry.register(thread, queue, role)
+        return QueueFillMonitor(linkage, setpoint=setpoint)
+
+    def test_half_full_queue_has_zero_pressure(self):
+        monitor = self._make(Role.CONSUMER, 500)
+        assert monitor.signed_pressure() == pytest.approx(0.0)
+
+    def test_full_queue_pushes_consumer_up(self):
+        monitor = self._make(Role.CONSUMER, 1_000)
+        assert monitor.signed_pressure() == pytest.approx(0.5)
+
+    def test_full_queue_pushes_producer_down(self):
+        monitor = self._make(Role.PRODUCER, 1_000)
+        assert monitor.signed_pressure() == pytest.approx(-0.5)
+
+    def test_empty_queue_pushes_consumer_down(self):
+        monitor = self._make(Role.CONSUMER, 0)
+        assert monitor.signed_pressure() == pytest.approx(-0.5)
+
+    def test_empty_queue_pushes_producer_up(self):
+        monitor = self._make(Role.PRODUCER, 0)
+        assert monitor.signed_pressure() == pytest.approx(0.5)
+
+    def test_pressure_bounded_by_half(self):
+        for fill in (0, 100, 250, 500, 750, 999, 1_000):
+            monitor = self._make(Role.CONSUMER, fill)
+            assert -0.5 <= monitor.signed_pressure() <= 0.5
+
+    def test_custom_setpoint(self):
+        monitor = self._make(Role.CONSUMER, 250, setpoint=0.25)
+        assert monitor.signed_pressure() == pytest.approx(0.0)
+
+    def test_invalid_setpoint_rejected(self):
+        with pytest.raises(ValueError):
+            self._make(Role.CONSUMER, 0, setpoint=1.0)
+
+
+class TestConstantPressureSource:
+    def test_positive_constant(self):
+        source = ConstantPressureSource(0.3)
+        assert source.sample().raw == 0.3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantPressureSource(0.0)
+
+
+class TestProgressSampler:
+    def test_no_linkages_returns_none(self):
+        registry = SymbioticRegistry()
+        sampler = ProgressSampler(SimThread("t"), registry)
+        assert sampler.sample() is None
+
+    def test_sums_over_multiple_queues(self):
+        registry = SymbioticRegistry()
+        thread = SimThread("stage")
+        inbound = BoundedBuffer("in", 1_000)
+        outbound = BoundedBuffer("out", 1_000)
+        inbound.commit_put(1_000)   # full input: need more CPU (+0.5)
+        outbound.commit_put(1_000)  # full output: slow down (-0.5)
+        registry.register(thread, inbound, Role.CONSUMER)
+        registry.register(thread, outbound, Role.PRODUCER)
+        sample = ProgressSampler(thread, registry).sample()
+        assert sample.raw == pytest.approx(0.0)
+        assert sample.per_channel["in"] == pytest.approx(0.5)
+        assert sample.per_channel["out"] == pytest.approx(-0.5)
+        assert sample.saturated_full
+
+    def test_saturation_flags(self):
+        registry = SymbioticRegistry()
+        thread = SimThread("c")
+        queue = BoundedBuffer("q", 100)
+        registry.register(thread, queue, Role.CONSUMER)
+        sampler = ProgressSampler(thread, registry)
+        assert sampler.sample().saturated_empty
+        queue.commit_put(100)
+        assert sampler.sample().saturated_full
+
+    def test_new_linkages_picked_up(self):
+        registry = SymbioticRegistry()
+        thread = SimThread("t")
+        sampler = ProgressSampler(thread, registry)
+        assert sampler.sample() is None
+        registry.register(thread, BoundedBuffer("q", 100), Role.CONSUMER)
+        assert sampler.sample() is not None
+
+
+class TestUsageMonitor:
+    def test_first_sample_has_zero_interval(self):
+        monitor = UsageMonitor()
+        thread = SimThread("t")
+        sample = monitor.sample(thread, now=10_000, allocated_ppt=100)
+        assert sample.used_us == 0
+        assert sample.interval_us == 0
+
+    def test_delta_accounting(self):
+        monitor = UsageMonitor()
+        thread = SimThread("t")
+        monitor.sample(thread, now=0, allocated_ppt=100)
+        thread.accounting.charge(3_000)
+        sample = monitor.sample(thread, now=10_000, allocated_ppt=500)
+        assert sample.used_us == 3_000
+        assert sample.interval_us == 10_000
+        assert sample.allocated_us == 5_000
+        assert sample.used_fraction == pytest.approx(0.3)
+        assert sample.allocated_fraction == pytest.approx(0.5)
+        assert sample.unused_fraction_of_allocation == pytest.approx(0.4)
+
+    def test_unused_fraction_zero_when_fully_used(self):
+        monitor = UsageMonitor()
+        thread = SimThread("t")
+        monitor.sample(thread, now=0, allocated_ppt=100)
+        thread.accounting.charge(1_000)
+        sample = monitor.sample(thread, now=10_000, allocated_ppt=100)
+        assert sample.unused_fraction_of_allocation == pytest.approx(0.0)
+
+    def test_forget_resets_baseline(self):
+        monitor = UsageMonitor()
+        thread = SimThread("t")
+        monitor.sample(thread, now=0, allocated_ppt=100)
+        thread.accounting.charge(500)
+        monitor.forget(thread)
+        sample = monitor.sample(thread, now=20_000, allocated_ppt=100)
+        assert sample.used_us == 0
+        assert sample.interval_us == 0
+
+    def test_run_before_block_passthrough(self):
+        monitor = UsageMonitor()
+        thread = SimThread("t")
+        thread.accounting.charge(2_000)
+        thread.accounting.note_block()
+        assert monitor.run_before_block_us(thread) == pytest.approx(2_000)

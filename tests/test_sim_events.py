@@ -1,0 +1,134 @@
+"""Unit tests for the event queue and periodic events."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, PeriodicEvent
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.next_time() is None
+        assert queue.pop_due(10_000) is None
+
+    def test_schedule_and_pop(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(100, lambda: fired.append("a"))
+        event = queue.pop_due(100)
+        event.callback()
+        assert fired == ["a"]
+
+    def test_pop_due_respects_time(self):
+        queue = EventQueue()
+        queue.schedule(100, lambda: None)
+        assert queue.pop_due(99) is None
+        assert queue.pop_due(100) is not None
+
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(300, lambda: order.append(3))
+        queue.schedule(100, lambda: order.append(1))
+        queue.schedule(200, lambda: order.append(2))
+        while (event := queue.pop_due(1_000)) is not None:
+            event.callback()
+        assert order == [1, 2, 3]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(100, lambda: order.append("first"))
+        queue.schedule(100, lambda: order.append("second"))
+        queue.schedule(100, lambda: order.append("third"))
+        while (event := queue.pop_due(100)) is not None:
+            event.callback()
+        assert order == ["first", "second", "third"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        event = queue.schedule(100, lambda: None)
+        event.cancel()
+        assert queue.pop_due(100) is None
+        assert len(queue) == 0
+
+    def test_next_time_ignores_cancelled(self):
+        queue = EventQueue()
+        first = queue.schedule(100, lambda: None)
+        queue.schedule(200, lambda: None)
+        first.cancel()
+        assert queue.next_time() == 200
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        a = queue.schedule(1, lambda: None)
+        queue.schedule(2, lambda: None)
+        assert len(queue) == 2
+        a.cancel()
+        queue.next_time()  # triggers lazy cleanup
+        assert len(queue) == 1
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+        queue.clear()
+        assert not queue
+
+    def test_peek_returns_earliest(self):
+        queue = EventQueue()
+        queue.schedule(50, lambda: None, label="later")
+        queue.schedule(10, lambda: None, label="earlier")
+        assert queue.peek().label == "earlier"
+
+
+class TestPeriodicEvent:
+    def _drain(self, queue, until):
+        while True:
+            event = queue.pop_due(until)
+            if event is None:
+                return
+            event.callback()
+
+    def test_fires_at_each_period(self):
+        queue = EventQueue()
+        times = []
+        PeriodicEvent(queue, 100, lambda now: times.append(now))
+        self._drain(queue, 350)
+        assert times == [0, 100, 200, 300]
+
+    def test_start_offset(self):
+        queue = EventQueue()
+        times = []
+        PeriodicEvent(queue, 100, lambda now: times.append(now), start=50)
+        self._drain(queue, 260)
+        assert times == [50, 150, 250]
+
+    def test_stop_prevents_future_firings(self):
+        queue = EventQueue()
+        times = []
+        periodic = PeriodicEvent(queue, 100, lambda now: times.append(now))
+        self._drain(queue, 150)
+        periodic.stop()
+        self._drain(queue, 1_000)
+        assert times == [0, 100]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicEvent(EventQueue(), 0, lambda now: None)
+
+    def test_period_can_be_changed(self):
+        queue = EventQueue()
+        times = []
+        periodic = PeriodicEvent(queue, 100, lambda now: times.append(now))
+        self._drain(queue, 100)
+        # The occurrence already armed (at 200) keeps the old spacing;
+        # the new period applies from the following occurrence.
+        periodic.period = 200
+        self._drain(queue, 500)
+        assert times == [0, 100, 200, 400]
