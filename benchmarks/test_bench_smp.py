@@ -1,0 +1,55 @@
+"""SMP scaling — web-farm throughput versus CPU count.
+
+Extension beyond the paper (the prototype is single-CPU): the same
+feedback-driven proportion allocator, budgeting against
+``n_cpus * PROPORTION_SCALE``, should turn added CPUs into added served
+throughput until the farm's demand fits, and must never grant more than
+the kernel's total capacity.
+"""
+
+import pytest
+
+from repro.experiments.smp_scaling import run_smp_scaling
+
+from benchmarks.conftest import run_once, show
+
+CPU_COUNTS = (1, 2, 4)
+
+
+@pytest.mark.benchmark(group="smp")
+def test_smp_scaling_throughput_and_capacity(benchmark):
+    result = run_once(benchmark, run_smp_scaling, cpu_counts=CPU_COUNTS)
+    show(result)
+
+    offered = result.metric("offered_rps")
+    served = {n: result.metric(f"served_rps_{n}cpu") for n in CPU_COUNTS}
+
+    # The farm needs ~1.8 CPUs: one CPU saturates well below the
+    # offered load...
+    assert served[1] < 0.65 * offered
+
+    # ...and added CPUs buy real throughput until demand fits.
+    assert served[2] > 1.3 * served[1]
+    assert served[4] > served[2]
+    assert served[4] > 0.85 * offered
+
+    # The controller never grants more than the kernel's capacity (in
+    # fact it stays within the scaled overload threshold).
+    for n in CPU_COUNTS:
+        peak = result.metric(f"peak_granted_ppt_{n}cpu")
+        assert peak <= result.metric(f"capacity_ppt_{n}cpu")
+
+
+@pytest.mark.benchmark(group="smp")
+def test_smp_placement_spreads_load(benchmark):
+    result = run_once(
+        benchmark, run_smp_scaling, cpu_counts=(4,), duration_s=2.0
+    )
+    show(result)
+
+    # Least-loaded placement should leave no CPU idle while the farm
+    # needs ~1.8 CPUs: every CPU does some work, and the busiest CPU is
+    # not the only one loaded.
+    busy = [result.metric(f"busy_fraction_4cpu_cpu{i}") for i in range(4)]
+    assert all(fraction > 0.05 for fraction in busy)
+    assert sum(busy) > 1.2

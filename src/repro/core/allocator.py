@@ -35,7 +35,7 @@ from repro.core.overload import (
     SquishPolicy,
     SquishRequest,
     WeightedFairShareSquish,
-    check_admission,
+    check_admission_smp,
 )
 from repro.core.period import PeriodEstimator
 from repro.core.taxonomy import ThreadClass, ThreadSpec, classify
@@ -118,6 +118,11 @@ class ProportionAllocator:
         self.updates = 0
         self._controlled: dict[int, _ControlledThread] = {}
 
+    @property
+    def capacity_cpus(self) -> int:
+        """CPU count the controller budgets against (scheduler's kernel)."""
+        return self.scheduler.n_cpus
+
     # ------------------------------------------------------------------
     # registration (what the paper's jobs do explicitly)
     # ------------------------------------------------------------------
@@ -127,17 +132,23 @@ class ProportionAllocator:
         Real-time specs (proportion and period both given) go through
         admission control and are actuated immediately, because a
         reservation must hold from the moment it is accepted, not from
-        the next controller tick.
+        the next controller tick.  On a multiprocessor admission is a
+        partitioned-schedulability test (:func:`check_admission_smp`):
+        the placement policy's greedy packing of all live real-time
+        reservations — pinned ones on their CPU — must still fit the
+        request under some CPU's admission threshold.
         """
         if thread.tid in self._controlled:
             raise ControllerError(f"thread {thread.name!r} is already controlled")
         spec = spec if spec is not None else ThreadSpec()
         if spec.specifies_proportion:
-            check_admission(
+            check_admission_smp(
                 self.config,
-                self._real_time_total_ppt(),
+                self._real_time_reservations(),
                 spec.proportion_ppt,
+                thread.affinity,
                 thread.name,
+                n_cpus=self.capacity_cpus,
             )
         state = _ControlledThread(
             thread=thread,
@@ -182,12 +193,13 @@ class ProportionAllocator:
             raise ControllerError(f"thread {thread.name!r} is not controlled")
         return state.spec
 
-    def _real_time_total_ppt(self) -> int:
-        total = 0
-        for state in self._controlled.values():
-            if state.spec.specifies_proportion and state.thread.state.is_live:
-                total += state.spec.proportion_ppt
-        return total
+    def _real_time_reservations(self) -> list[tuple[int, Optional[int]]]:
+        """Live real-time reservations as (proportion, affinity) pairs."""
+        return [
+            (state.spec.proportion_ppt, state.thread.affinity)
+            for state in self._controlled.values()
+            if state.spec.specifies_proportion and state.thread.state.is_live
+        ]
 
     # ------------------------------------------------------------------
     # the controller period
@@ -351,7 +363,7 @@ class ProportionAllocator:
            below the minimum proportion (starvation freedom).
         """
         total_desired = sum(d.desired_ppt for d in decisions)
-        threshold = self.config.overload_threshold_ppt
+        threshold = self.config.overload_threshold_total_ppt(self.capacity_cpus)
         if total_desired <= threshold:
             return
 

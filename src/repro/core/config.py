@@ -153,6 +153,20 @@ class ControllerConfig:
         """Controller period in seconds (the PID's dt)."""
         return self.controller_period_us / 1_000_000
 
+    # ------------------------------------------------------------------
+    # multiprocessor capacity scaling
+    # ------------------------------------------------------------------
+    def overload_threshold_total_ppt(self, n_cpus: int = 1) -> int:
+        """Squish threshold against total capacity ``n_cpus * 1000``.
+
+        The per-CPU headroom (1000 - overload_threshold_ppt, reserved
+        for scheduling and interrupt overhead) scales with the CPU
+        count, so each CPU keeps the same reserve the paper argues for.
+        """
+        if n_cpus < 1:
+            raise ControllerError(f"n_cpus must be at least 1, got {n_cpus}")
+        return self.overload_threshold_ppt * n_cpus
+
     @property
     def min_fraction(self) -> float:
         """Minimum proportion as a fraction of the CPU."""

@@ -141,6 +141,11 @@ class ControllerDriver:
                         now,
                         decision.cumulative_pressure,
                     )
+            # Aggregate grant, for eyeballing total load against the
+            # kernel's capacity of n_cpus * PROPORTION_SCALE.
+            tracer.record(
+                "alloc:total", now, sum(d.granted_ppt for d in decisions)
+            )
 
     # ------------------------------------------------------------------
     # overhead reporting (Figure 5)

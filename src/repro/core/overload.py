@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.core.config import ControllerConfig
 from repro.core.errors import AdmissionError
@@ -138,12 +139,57 @@ def check_admission(
     requested_ppt: int,
     thread_name: str,
 ) -> None:
-    """Admission control for a new real-time reservation.
+    """Admission control for a new real-time reservation (one CPU).
 
     Raises :class:`AdmissionError` if accepting the request would push
     the total of real-time reservations above the admission threshold.
     """
     available = config.admission_threshold_ppt - existing_real_time_ppt
+    if requested_ppt > available:
+        raise AdmissionError(
+            requested_ppt=requested_ppt,
+            available_ppt=max(0, available),
+            thread_name=thread_name,
+        )
+
+
+def check_admission_smp(
+    config: ControllerConfig,
+    existing: Iterable[tuple[int, Optional[int]]],
+    requested_ppt: int,
+    requested_affinity: Optional[int],
+    thread_name: str,
+    *,
+    n_cpus: int = 1,
+) -> None:
+    """Partitioned admission control for a multiprocessor.
+
+    A sum test against ``n_cpus * threshold`` is not sufficient on an
+    SMP: five unpinned 640 ppt reservations total 3200 ppt on four CPUs
+    yet cannot be packed without some CPU exceeding its 1000 ppt
+    capacity.  Admission therefore replays the placement policy's own
+    greedy packing (heaviest first, pinned reservations on their CPU,
+    unpinned on the least-loaded CPU) over the ``existing``
+    reservations — ``(proportion_ppt, affinity-or-None)`` pairs — and
+    admits the request only if it still fits under the per-CPU
+    admission threshold on some (or, when pinned, its) CPU.  This is a
+    sufficient test: the schedule it certifies is the one the
+    least-loaded placement actually produces.  With ``n_cpus=1`` it
+    reduces exactly to :func:`check_admission`.
+    """
+    bins = [0] * n_cpus
+    items = sorted(existing, key=lambda item: -item[0])
+    for ppt, affinity in items:
+        if affinity is not None:
+            cpu = min(affinity, n_cpus - 1)
+        else:
+            cpu = min(range(n_cpus), key=lambda c: (bins[c], c))
+        bins[cpu] += ppt
+    threshold = config.admission_threshold_ppt
+    if requested_affinity is not None:
+        available = threshold - bins[min(requested_affinity, n_cpus - 1)]
+    else:
+        available = threshold - min(bins)
     if requested_ppt > available:
         raise AdmissionError(
             requested_ppt=requested_ppt,
@@ -158,4 +204,5 @@ __all__ = [
     "SquishRequest",
     "WeightedFairShareSquish",
     "check_admission",
+    "check_admission_smp",
 ]

@@ -23,6 +23,7 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.inversion import run_inversion_comparison
+from repro.experiments.smp_scaling import run_smp_scaling
 from repro.experiments.taxonomy import run_taxonomy
 
 __all__ = [
@@ -34,5 +35,6 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_inversion_comparison",
+    "run_smp_scaling",
     "run_taxonomy",
 ]

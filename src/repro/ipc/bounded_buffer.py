@@ -14,6 +14,7 @@ an in-kernel buffer implementation and the scheduler.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.sim.errors import ChannelError
@@ -51,9 +52,11 @@ class Channel:
         self.get_count = 0
         self.full_events = 0
         self.empty_events = 0
-        #: Threads blocked writing to / reading from this channel (kernel-owned).
-        self.put_waiters: list["SimThread"] = []
-        self.get_waiters: list["SimThread"] = []
+        #: Threads blocked writing to / reading from this channel
+        #: (kernel-owned FIFOs; deques so the kernel's wake path pops
+        #: from the head in O(1) instead of ``list.pop(0)``'s O(n)).
+        self.put_waiters: deque["SimThread"] = deque()
+        self.get_waiters: deque["SimThread"] = deque()
 
     # ------------------------------------------------------------------
     # state inspection (what the symbiotic interface exposes)

@@ -15,19 +15,32 @@ fine-grained control):
   proportional-share lottery scheduling (related work, [21]).
 * :class:`~repro.sched.round_robin.RoundRobinScheduler` — the simplest
   possible fair baseline.
+
+On multiprocessor kernels every policy additionally consults a
+:class:`~repro.sched.placement.PlacementPolicy` (least-loaded balancing
+by default, static pinning as an alternative) that maps runnable
+threads to CPUs before the per-CPU picks are made.
 """
 
 from repro.sched.base import Scheduler
 from repro.sched.goodness import LinuxGoodnessScheduler
 from repro.sched.lottery import LotteryScheduler
+from repro.sched.placement import (
+    LeastLoadedPlacement,
+    PinnedPlacement,
+    PlacementPolicy,
+)
 from repro.sched.priority import FixedPriorityScheduler
 from repro.sched.rbs import Reservation, ReservationScheduler
 from repro.sched.round_robin import RoundRobinScheduler
 
 __all__ = [
     "FixedPriorityScheduler",
+    "LeastLoadedPlacement",
     "LinuxGoodnessScheduler",
     "LotteryScheduler",
+    "PinnedPlacement",
+    "PlacementPolicy",
     "Reservation",
     "ReservationScheduler",
     "RoundRobinScheduler",

@@ -6,6 +6,17 @@ questions at every dispatch point: *which runnable thread should run
 next* (:meth:`Scheduler.pick_next`) and *for at most how long*
 (:meth:`Scheduler.time_slice`).  CPU consumption is reported back via
 :meth:`Scheduler.charge` so proportion/period accounting can be kept.
+
+On a multiprocessor kernel the dispatch question is asked once per CPU:
+the kernel first calls :meth:`Scheduler.place_threads` to let the
+scheduler's :class:`~repro.sched.placement.PlacementPolicy` map runnable
+threads to CPUs for the round, then calls
+:meth:`Scheduler.pick_next_cpu` for each CPU.  Policies answer the
+per-CPU question with exactly the same ordering logic as the
+uniprocessor one, restricted to the threads placed on that CPU
+(:meth:`Scheduler.dispatch_candidates`).  With ``cpu=None`` (the
+single-CPU kernel's call) every code path reduces bit-for-bit to the
+original uniprocessor behaviour.
 """
 
 from __future__ import annotations
@@ -13,6 +24,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Optional
 
+from repro.sched.placement import LeastLoadedPlacement, PlacementPolicy
 from repro.sim.errors import SchedulerError
 from repro.sim.thread import SimThread, ThreadState
 
@@ -28,9 +40,15 @@ class Scheduler(ABC):
     #: ``SimThread.sched_data``; subclasses override.
     SCHED_KEY = "base"
 
-    def __init__(self) -> None:
+    def __init__(self, *, placement: Optional[PlacementPolicy] = None) -> None:
         self.kernel: Optional["Kernel"] = None
         self._threads: list[SimThread] = []
+        #: Thread-to-CPU mapping strategy used on multiprocessor kernels.
+        self.placement: PlacementPolicy = (
+            placement if placement is not None else LeastLoadedPlacement()
+        )
+        #: tid -> CPU assignment computed by the latest placement round.
+        self._placement_map: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -45,6 +63,13 @@ class Scheduler(ABC):
         if self.kernel is None:
             return 1_000
         return self.kernel.dispatch_interval_us
+
+    @property
+    def n_cpus(self) -> int:
+        """Number of CPUs of the attached kernel (1 when detached)."""
+        if self.kernel is None:
+            return 1
+        return self.kernel.n_cpus
 
     # ------------------------------------------------------------------
     # thread membership
@@ -69,6 +94,60 @@ class Scheduler(ABC):
     def runnable_threads(self) -> list[SimThread]:
         """Registered threads whose state allows dispatch."""
         return [t for t in self._threads if t.state.is_runnable]
+
+    # ------------------------------------------------------------------
+    # multiprocessor placement
+    # ------------------------------------------------------------------
+    def placement_weight(self, thread: SimThread) -> float:
+        """Load contribution of ``thread`` for balancing placements.
+
+        The base policy weighs every thread equally; the reservation
+        scheduler overrides this with the reserved proportion so that
+        per-CPU reserved capacity stays balanced.
+        """
+        return 1.0
+
+    def place_threads(self, now: int) -> dict[int, int]:
+        """(Re)assign runnable threads to CPUs for the coming round.
+
+        Called by the multiprocessor kernel at the start of every
+        dispatch round.  Returns (and caches) the tid -> CPU mapping.
+        """
+        runnable = self.runnable_threads()
+        self._placement_map = self.placement.assign(
+            runnable, self.n_cpus, self.placement_weight
+        )
+        return self._placement_map
+
+    def eligible_on(self, thread: SimThread, cpu: int) -> bool:
+        """Whether ``thread`` may run on ``cpu`` in the current round.
+
+        A hard affinity is always honoured (the kernel and ``pin_to``
+        guarantee it names an existing CPU); otherwise the thread must
+        be assigned to ``cpu`` by the latest placement round (threads
+        that woke after placement simply wait for the next round, which
+        bounds their extra latency by one dispatch window).
+        """
+        if thread.affinity is not None:
+            return thread.affinity == cpu
+        assigned = self._placement_map.get(thread.tid)
+        return assigned is None or assigned == cpu
+
+    def dispatch_candidates(self, cpu: Optional[int] = None) -> list[SimThread]:
+        """Runnable threads a pick for ``cpu`` may choose from.
+
+        With ``cpu=None`` (uniprocessor dispatch) this is exactly
+        :meth:`runnable_threads`.  With a CPU index it is the READY
+        threads placed on that CPU — threads currently RUNNING on
+        another CPU of the same round are excluded.
+        """
+        if cpu is None:
+            return self.runnable_threads()
+        return [
+            t
+            for t in self._threads
+            if t.state is ThreadState.READY and self.eligible_on(t, cpu)
+        ]
 
     # ------------------------------------------------------------------
     # policy hooks (subclasses override what they need)
@@ -120,8 +199,19 @@ class Scheduler(ABC):
     # dispatch decisions
     # ------------------------------------------------------------------
     @abstractmethod
-    def pick_next(self, now: int) -> Optional[SimThread]:
-        """Select the next thread to run, or ``None`` to idle."""
+    def pick_next(self, now: int, cpu: Optional[int] = None) -> Optional[SimThread]:
+        """Select the next thread to run, or ``None`` to idle.
+
+        ``cpu`` restricts the choice to threads placed on that CPU
+        (multiprocessor dispatch); ``None`` keeps the original
+        uniprocessor semantics.  Implementations obtain their candidate
+        set from :meth:`dispatch_candidates` so both cases share one
+        ordering policy.
+        """
+
+    def pick_next_cpu(self, cpu: int, now: int) -> Optional[SimThread]:
+        """CPU-aware pick: the thread CPU ``cpu`` should dispatch at ``now``."""
+        return self.pick_next(now, cpu=cpu)
 
     def time_slice(self, thread: SimThread, now: int) -> int:
         """Maximum time (us) ``thread`` may run before re-dispatch."""

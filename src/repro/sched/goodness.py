@@ -101,8 +101,8 @@ class LinuxGoodnessScheduler(Scheduler):
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def pick_next(self, now: int) -> Optional[SimThread]:
-        runnable = self.runnable_threads()
+    def pick_next(self, now: int, cpu: Optional[int] = None) -> Optional[SimThread]:
+        runnable = self.dispatch_candidates(cpu)
         if not runnable:
             return None
         best = max(runnable, key=lambda t: (self.goodness(t), -t.tid))

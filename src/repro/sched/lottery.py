@@ -41,8 +41,8 @@ class LotteryScheduler(Scheduler):
             )
         thread.tickets = int(tickets)
 
-    def pick_next(self, now: int) -> Optional[SimThread]:
-        runnable = self.runnable_threads()
+    def pick_next(self, now: int, cpu: Optional[int] = None) -> Optional[SimThread]:
+        runnable = self.dispatch_candidates(cpu)
         if not runnable:
             return None
         total = sum(max(1, t.tickets) for t in runnable)

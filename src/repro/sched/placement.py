@@ -1,0 +1,109 @@
+"""Thread-to-CPU placement policies for multiprocessor scheduling.
+
+On a multiprocessor the dispatcher answers *two* questions instead of
+one: which CPU a runnable thread should run on (placement), and which of
+the threads placed on a CPU runs next (the per-CPU pick, still made by
+the :class:`~repro.sched.base.Scheduler` policy).  The paper's prototype
+is single-CPU, so placement is an extension point: the kernel asks the
+scheduler for a fresh assignment of runnable threads to CPUs at the
+start of every dispatch round, and the scheduler delegates to one of the
+policies here.
+
+Two strategies are provided:
+
+* :class:`LeastLoadedPlacement` (the default) — greedy weighted
+  bin-packing: threads are assigned, heaviest first, to the CPU with
+  the smallest accumulated weight.  The weight is supplied by the
+  scheduler (the reservation scheduler uses the thread's reserved
+  proportion, so reservations spread across CPUs and per-CPU reserved
+  capacity stays balanced; other schedulers weigh every thread
+  equally).
+* :class:`PinnedPlacement` — fully static: a thread runs on its
+  explicit affinity if set, otherwise on ``tid % n_cpus``.  Useful for
+  experiments that need placement taken out of the picture.
+
+Both honour an explicit :attr:`~repro.sim.thread.SimThread.affinity`
+(a thread pinned with :meth:`~repro.sim.thread.SimThread.pin_to` is
+never migrated) and both are deterministic: ties break towards the
+lowest CPU index and threads are considered in a fixed order, so every
+simulation remains exactly reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.thread import SimThread
+
+#: Signature of the weight function a scheduler supplies to placement.
+ThreadWeight = Callable[["SimThread"], float]
+
+
+class PlacementPolicy(ABC):
+    """Strategy assigning runnable threads to CPUs for one dispatch round."""
+
+    @abstractmethod
+    def assign(
+        self,
+        threads: Iterable["SimThread"],
+        n_cpus: int,
+        weight: ThreadWeight,
+    ) -> dict[int, int]:
+        """Map each thread's tid to the CPU index it may run on.
+
+        ``weight`` supplies the load contribution of a thread (used by
+        load-balancing policies; static policies may ignore it).  The
+        mapping must respect each thread's ``affinity`` when set.
+        """
+
+    @staticmethod
+    def _allowed_cpus(thread: "SimThread", n_cpus: int) -> range | tuple[int, ...]:
+        if thread.affinity is not None:
+            return (min(thread.affinity, n_cpus - 1),)
+        return range(n_cpus)
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Greedy weighted balancing: heaviest threads first, lightest CPU wins."""
+
+    def assign(
+        self,
+        threads: Iterable["SimThread"],
+        n_cpus: int,
+        weight: ThreadWeight,
+    ) -> dict[int, int]:
+        loads = [0.0] * n_cpus
+        mapping: dict[int, int] = {}
+        # Heaviest-first gives the classic LPT balance guarantee; the
+        # tid tiebreak keeps the order (and therefore the whole
+        # simulation) deterministic.
+        ordered = sorted(threads, key=lambda t: (-weight(t), t.tid))
+        for thread in ordered:
+            allowed = self._allowed_cpus(thread, n_cpus)
+            cpu = min(allowed, key=lambda c: (loads[c], c))
+            mapping[thread.tid] = cpu
+            loads[cpu] += max(0.0, weight(thread))
+        return mapping
+
+
+class PinnedPlacement(PlacementPolicy):
+    """Static placement: explicit affinity, else ``tid % n_cpus``."""
+
+    def assign(
+        self,
+        threads: Iterable["SimThread"],
+        n_cpus: int,
+        weight: ThreadWeight,
+    ) -> dict[int, int]:
+        mapping: dict[int, int] = {}
+        for thread in threads:
+            if thread.affinity is not None:
+                mapping[thread.tid] = min(thread.affinity, n_cpus - 1)
+            else:
+                mapping[thread.tid] = thread.tid % n_cpus
+        return mapping
+
+
+__all__ = ["LeastLoadedPlacement", "PinnedPlacement", "PlacementPolicy", "ThreadWeight"]

@@ -66,8 +66,8 @@ class FixedPriorityScheduler(Scheduler):
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def pick_next(self, now: int) -> Optional[SimThread]:
-        runnable = self.runnable_threads()
+    def pick_next(self, now: int, cpu: Optional[int] = None) -> Optional[SimThread]:
+        runnable = self.dispatch_candidates(cpu)
         if not runnable:
             return None
         top = max(t.priority for t in runnable)

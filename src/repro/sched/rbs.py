@@ -213,6 +213,10 @@ class ReservationScheduler(Scheduler):
                 total += reservation.proportion_ppt
         return total
 
+    def capacity_ppt(self) -> int:
+        """Total schedulable capacity: one ``PROPORTION_SCALE`` per CPU."""
+        return self.n_cpus * PROPORTION_SCALE
+
     def deadline_misses(self) -> int:
         """Total deadline misses across all reservation threads."""
         total = 0
@@ -253,13 +257,25 @@ class ReservationScheduler(Scheduler):
         reservation.advance_to(now)
 
     # ------------------------------------------------------------------
+    # placement (multiprocessor)
+    # ------------------------------------------------------------------
+    def placement_weight(self, thread: SimThread) -> float:
+        """Balance CPUs by reserved proportion, not by thread count."""
+        reservation = self.reservation(thread)
+        if reservation is None or reservation.proportion_ppt <= 0:
+            # Best-effort and zero-proportion threads weigh a token
+            # amount so they still spread over otherwise equal CPUs.
+            return 1.0
+        return float(reservation.proportion_ppt)
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def _eligible_reservation_threads(self, now: int) -> list[SimThread]:
+    def _eligible_reservation_threads(
+        self, now: int, cpu: Optional[int] = None
+    ) -> list[SimThread]:
         eligible = []
-        for thread in self._threads:
-            if not thread.state.is_runnable:
-                continue
+        for thread in self.dispatch_candidates(cpu):
             reservation = self.reservation(thread)
             if reservation is None:
                 continue
@@ -270,15 +286,13 @@ class ReservationScheduler(Scheduler):
             eligible.append(thread)
         return eligible
 
-    def _runnable_best_effort(self) -> list[SimThread]:
+    def _runnable_best_effort(self, cpu: Optional[int] = None) -> list[SimThread]:
         return [
-            t
-            for t in self._threads
-            if t.state.is_runnable and self.reservation(t) is None
+            t for t in self.dispatch_candidates(cpu) if self.reservation(t) is None
         ]
 
-    def pick_next(self, now: int) -> Optional[SimThread]:
-        eligible = self._eligible_reservation_threads(now)
+    def pick_next(self, now: int, cpu: Optional[int] = None) -> Optional[SimThread]:
+        eligible = self._eligible_reservation_threads(now, cpu)
         if eligible:
             # Rate-monotonic: shortest period first; proportion breaks
             # ties in favour of larger allocations, tid keeps it stable.
@@ -290,7 +304,7 @@ class ReservationScheduler(Scheduler):
                 )
             )
             return eligible[0]
-        best_effort = self._runnable_best_effort()
+        best_effort = self._runnable_best_effort(cpu)
         if not best_effort:
             return None
         # Round-robin over best-effort threads for basic fairness.

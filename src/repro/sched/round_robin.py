@@ -23,8 +23,8 @@ class RoundRobinScheduler(Scheduler):
         self._slice_us = slice_us
         self._cursor = 0
 
-    def pick_next(self, now: int) -> Optional[SimThread]:
-        runnable = self.runnable_threads()
+    def pick_next(self, now: int, cpu: Optional[int] = None) -> Optional[SimThread]:
+        runnable = self.dispatch_candidates(cpu)
         if not runnable:
             return None
         self._cursor += 1

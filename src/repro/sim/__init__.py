@@ -5,8 +5,11 @@ The paper implements its reservation-based scheduler inside the Linux
 reproduction cannot perform genuine preemptive CPU scheduling (the GIL
 serialises execution and the interpreter cannot revoke the CPU from a
 thread), so this package provides the substrate the rest of the library
-runs on: a deterministic discrete-event simulation of a single CPU, its
-timer interrupt, a dispatcher hook, blocking IPC and sleeping threads.
+runs on: a deterministic discrete-event simulation of one or more CPUs,
+their timer interrupts, a dispatcher hook, blocking IPC and sleeping
+threads.  Multiprocessor simulation uses lockstep dispatch rounds (see
+:mod:`repro.sim.kernel`); with one CPU the model is exactly the paper's
+uniprocessor testbed.
 
 The important properties preserved from the paper's testbed are:
 
@@ -33,7 +36,7 @@ Public entry points
 """
 
 from repro.sim.clock import SimClock
-from repro.sim.cpu import CPUModel
+from repro.sim.cpu import CPUModel, CPUState
 from repro.sim.errors import (
     DeadlockError,
     SimulationError,
@@ -59,6 +62,7 @@ from repro.sim.trace import Tracer
 __all__ = [
     "AcquireMutex",
     "CPUModel",
+    "CPUState",
     "Compute",
     "DeadlockError",
     "Event",

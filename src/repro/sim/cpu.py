@@ -1,4 +1,4 @@
-"""CPU model.
+"""CPU model and per-CPU run state.
 
 The paper's prototype runs on a 400 MHz Pentium II with a 1 ms timer.
 The simulator does not model micro-architecture; what matters for the
@@ -9,6 +9,11 @@ scheduling experiments is
 * the fixed cost of every dispatch (the ``schedule()`` +
   ``do_timers()`` path), which is what produces the overhead-vs-
   frequency curve of Figure 8.
+
+A multiprocessor kernel instantiates one :class:`CPUState` per CPU (all
+sharing one :class:`CPUModel`, i.e. homogeneous SMP): it carries the
+per-CPU dispatch accounting — idle time, per-dispatch stolen overhead
+and dispatch counts — that the kernel aggregates for its totals.
 """
 
 from __future__ import annotations
@@ -16,6 +21,38 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.clock import US_PER_SEC
+
+
+@dataclass
+class CPUState:
+    """Per-CPU dispatch bookkeeping of a (possibly multi-CPU) kernel.
+
+    Attributes
+    ----------
+    index:
+        CPU number, 0-based.
+    idle_us:
+        Time this CPU spent with nothing to run.
+    stolen_dispatch_us:
+        Dispatch overhead charged on this CPU (to no thread).
+    dispatches:
+        Number of times this CPU's dispatcher selected a thread.
+    overhead_accumulator:
+        Fractional-microsecond remainder of the per-dispatch overhead
+        model, kept per CPU so accounting is independent across CPUs.
+    """
+
+    index: int
+    idle_us: int = 0
+    stolen_dispatch_us: int = 0
+    dispatches: int = 0
+    overhead_accumulator: float = 0.0
+
+    def busy_fraction(self, elapsed_us: int) -> float:
+        """Fraction of ``elapsed_us`` this CPU was not idle."""
+        if elapsed_us <= 0:
+            return 0.0
+        return max(0.0, min(1.0, 1.0 - self.idle_us / elapsed_us))
 
 
 @dataclass
@@ -105,4 +142,4 @@ class CPUModel:
         return min(1.0, max(0.0, fraction))
 
 
-__all__ = ["CPUModel"]
+__all__ = ["CPUModel", "CPUState"]

@@ -13,6 +13,39 @@ long; the kernel mechanically executes that decision.  The adaptive
 controller of :mod:`repro.core` is layered on top: it is driven by a
 periodic event and only talks to the scheduler (to set proportion and
 period) and to the symbiotic-interface registry (to read fill levels).
+
+Multi-CPU model
+---------------
+The paper's prototype is single-CPU; ``Kernel(scheduler, n_cpus=N)``
+generalises it to a homogeneous SMP.  The simulation stays a
+deterministic discrete-event system by executing *dispatch rounds*:
+
+1. At round start (virtual time ``t0``) all due events fire, then the
+   scheduler's placement policy maps runnable threads to CPUs and each
+   CPU picks at most one thread (:meth:`Scheduler.pick_next_cpu`,
+   in CPU-index order — a thread claimed by a lower-numbered CPU is
+   invisible to higher ones).
+2. Every picked thread runs a slice *in parallel over the same wall
+   window* ``[t0, h)``, where ``h`` is capped by the slice lengths, the
+   next pending event and the end of the run.  Internally the CPUs'
+   slices are simulated one CPU at a time with a per-CPU local clock
+   that starts at ``t0``; ``Kernel.now`` reads that local clock while a
+   slice executes, so sleeps, I/O completions and IPC commits performed
+   mid-slice are stamped with the correct intra-window time.
+3. The global clock then advances to the latest local end time.  A CPU
+   whose thread blocked early idles until the round ends — exactly the
+   timer-quantised re-dispatch latency of the paper's prototype, now
+   per CPU — and wake-ups produced mid-round become visible to the
+   other CPUs at the next round boundary.
+
+With ``n_cpus=1`` (the default) the kernel runs the original
+uniprocessor loop unchanged — same operation order, same arithmetic —
+so every seed experiment and figure reproduction is bit-identical.
+Accounting totals (``idle_us``, ``stolen_dispatch_us``,
+``dispatch_count``) aggregate the per-CPU :class:`CPUState` records and
+are expressed in CPU-microseconds, so the conservation identity
+``total_thread_cpu + idle + stolen == n_cpus * now`` holds for every
+CPU count.
 """
 
 from __future__ import annotations
@@ -20,7 +53,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.sim.clock import US_PER_SEC, SimClock
-from repro.sim.cpu import CPUModel
+from repro.sim.cpu import CPUModel, CPUState
 from repro.sim.errors import DeadlockError, SimulationError, ThreadStateError
 from repro.sim.events import EventQueue, PeriodicEvent
 from repro.sim.requests import (
@@ -58,17 +91,21 @@ class _DispatchOutcome:
 
 
 class Kernel:
-    """A single-CPU simulated system.
+    """A simulated system with one or more CPUs.
 
     Parameters
     ----------
     scheduler:
         The dispatcher policy (see :mod:`repro.sched`).  The kernel
         attaches itself to the scheduler so the scheduler can query the
-        dispatch interval.
+        dispatch interval and CPU count.
+    n_cpus:
+        Number of identical CPUs.  The default of 1 reproduces the
+        paper's uniprocessor prototype exactly; larger values enable
+        the dispatch-round SMP model described in the module docstring.
     cpu:
         CPU cost model; controls the per-dispatch overhead charged as
-        stolen time.
+        stolen time (shared by all CPUs — homogeneous SMP).
     dispatch_interval_us:
         The timer interval bounding how long a thread may run before
         the dispatcher is re-entered.
@@ -86,28 +123,38 @@ class Kernel:
         sleep, mutex operation…).  Besides being realistic, a non-zero
         cost guarantees that a thread issuing only zero-cost requests
         still makes the clock advance.
+    record_dispatches:
+        When ``True`` the kernel appends one
+        ``(time_us, cpu, thread_name, outcome, consumed_us)`` tuple to
+        :attr:`dispatch_log` per dispatch — the full scheduling order,
+        used by the determinism regression tests.
     """
 
     def __init__(
         self,
         scheduler: "Scheduler",
         *,
+        n_cpus: int = 1,
         cpu: Optional[CPUModel] = None,
         dispatch_interval_us: int = DEFAULT_DISPATCH_INTERVAL_US,
         tracer: Optional[Tracer] = None,
         charge_dispatch_overhead: bool = True,
         deadlock_detection: bool = True,
         syscall_cost_us: int = 1,
+        record_dispatches: bool = False,
     ) -> None:
         if dispatch_interval_us <= 0:
             raise ValueError(
                 f"dispatch interval must be positive, got {dispatch_interval_us}"
             )
+        if n_cpus < 1:
+            raise ValueError(f"kernel needs at least one CPU, got {n_cpus}")
         self.clock = SimClock()
         self.events = EventQueue()
         self.cpu = cpu if cpu is not None else CPUModel()
         self.tracer = tracer if tracer is not None else Tracer()
         self.scheduler = scheduler
+        self.n_cpus = int(n_cpus)
         self.dispatch_interval_us = int(dispatch_interval_us)
         self.charge_dispatch_overhead = charge_dispatch_overhead
         self.deadlock_detection = deadlock_detection
@@ -118,11 +165,15 @@ class Kernel:
         self.syscall_cost_us = int(syscall_cost_us)
 
         self.threads: list[SimThread] = []
-        self.idle_us = 0
-        self.stolen_dispatch_us = 0
+        #: Per-CPU run state; aggregates are exposed as properties.
+        self.cpu_states: list[CPUState] = [CPUState(i) for i in range(self.n_cpus)]
         self.stolen_controller_us = 0
-        self.dispatch_count = 0
-        self._overhead_accumulator = 0.0
+        self.dispatch_log: Optional[list[tuple[int, int, str, str, int]]] = (
+            [] if record_dispatches else None
+        )
+        #: Local-time override used while an SMP dispatch round
+        #: simulates one CPU's slice (None outside rounds).
+        self._now_override: Optional[int] = None
         self._finished = False
 
         scheduler.attach(self)
@@ -132,13 +183,39 @@ class Kernel:
     # ------------------------------------------------------------------
     @property
     def now(self) -> int:
-        """Current virtual time in microseconds."""
+        """Current virtual time in microseconds.
+
+        While an SMP dispatch round executes one CPU's slice this reads
+        that CPU's local clock, so everything a running thread does is
+        stamped with the correct intra-window time.
+        """
+        if self._now_override is not None:
+            return self._now_override
         return self.clock.now
+
+    @property
+    def idle_us(self) -> int:
+        """Total idle time across all CPUs (CPU-microseconds)."""
+        return sum(c.idle_us for c in self.cpu_states)
+
+    @property
+    def stolen_dispatch_us(self) -> int:
+        """Dispatch overhead across all CPUs (CPU-microseconds)."""
+        return sum(c.stolen_dispatch_us for c in self.cpu_states)
+
+    @property
+    def dispatch_count(self) -> int:
+        """Total dispatches across all CPUs."""
+        return sum(c.dispatches for c in self.cpu_states)
 
     @property
     def stolen_us(self) -> int:
         """Total CPU time consumed by kernel overhead (dispatch + controller)."""
         return self.stolen_dispatch_us + self.stolen_controller_us
+
+    def capacity_us(self) -> int:
+        """Total CPU-time capacity elapsed so far: ``n_cpus * now``."""
+        return self.n_cpus * self.clock.now
 
     def total_thread_cpu_us(self) -> int:
         """Sum of CPU time charged to all threads."""
@@ -155,6 +232,11 @@ class Kernel:
         """Register ``thread`` with the kernel and the scheduler."""
         if thread in self.threads:
             raise SimulationError(f"thread {thread.name!r} already added")
+        if thread.affinity is not None and thread.affinity >= self.n_cpus:
+            raise SimulationError(
+                f"thread {thread.name!r} is pinned to CPU {thread.affinity} "
+                f"but the kernel has only {self.n_cpus} CPU(s)"
+            )
         env = ThreadEnv(kernel=self, thread=thread)
         thread.bind(env)
         self.threads.append(thread)
@@ -183,17 +265,37 @@ class Kernel:
 
         Used by the controller driver to model the controller's own CPU
         consumption (Figure 5) without representing the controller as a
-        full thread.
+        full thread.  On a multiprocessor the controller runs on CPU 0
+        and — because stealing advances the shared clock — stalls the
+        other CPUs for the same interval; their share is accounted as
+        idle time so the conservation identity keeps holding.
         """
         if us < 0:
             raise ValueError(f"cannot steal negative CPU time {us}")
         if us == 0:
             return
-        self.clock.advance_by(us)
+        self._tick(us)
         if reason == "dispatch":
-            self.stolen_dispatch_us += us
+            self.cpu_states[0].stolen_dispatch_us += us
         else:
             self.stolen_controller_us += us
+        if self.n_cpus > 1 and self._now_override is None:
+            for cpu in self.cpu_states[1:]:
+                cpu.idle_us += us
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def _tick(self, us: int) -> None:
+        """Advance the current time cursor by ``us`` microseconds.
+
+        Outside an SMP dispatch round this is the global clock; inside
+        a round it is the executing CPU's local clock.
+        """
+        if self._now_override is None:
+            self.clock.advance_by(us)
+        else:
+            self._now_override += us
 
     # ------------------------------------------------------------------
     # main loop
@@ -208,16 +310,28 @@ class Kernel:
             raise ValueError(
                 f"cannot run until {t_end}us, already at {self.now}us"
             )
-        while self.now < t_end:
-            self._fire_due_events()
-            if self.now >= t_end:
-                break
-            thread = self.scheduler.pick_next(self.now)
-            if thread is None:
-                if not self._advance_idle(t_end):
+        if self.n_cpus == 1:
+            # Uniprocessor fast path: the paper's original loop,
+            # bit-identical to the seed reproduction.
+            cpu0 = self.cpu_states[0]
+            while self.now < t_end:
+                self._fire_due_events()
+                if self.now >= t_end:
                     break
-                continue
-            self._dispatch(thread, t_end)
+                thread = self.scheduler.pick_next(self.now)
+                if thread is None:
+                    if not self._advance_idle(t_end):
+                        break
+                    continue
+                self._dispatch(cpu0, thread, t_end)
+        else:
+            while self.now < t_end:
+                self._fire_due_events()
+                if self.now >= t_end:
+                    break
+                if not self._dispatch_round(t_end):
+                    if not self._advance_idle(t_end):
+                        break
         if self.now < t_end:
             self.clock.advance_to(t_end)
 
@@ -234,6 +348,7 @@ class Kernel:
 
         Returns ``False`` when the simulation cannot make further
         progress before ``t_end`` (clock is advanced to ``t_end``).
+        All CPUs are idle for the skipped interval.
         """
         candidates = []
         next_event = self.events.next_time()
@@ -252,7 +367,7 @@ class Kernel:
                     f"no runnable threads, no pending events, and threads "
                     f"[{names}] are blocked with no possible wake-up"
                 )
-            self.idle_us += t_end - self.now
+            self._charge_idle(t_end - self.now)
             self.clock.advance_to(t_end)
             return False
         target = min(min(candidates), t_end)
@@ -261,28 +376,83 @@ class Kernel:
             # replenishes right now); let the caller re-run pick_next.
             self.scheduler.refresh(self.now)
             return True
-        self.idle_us += target - self.now
+        self._charge_idle(target - self.now)
         self.clock.advance_to(target)
         self.scheduler.refresh(self.now)
+        return True
+
+    def _charge_idle(self, us: int) -> None:
+        for cpu in self.cpu_states:
+            cpu.idle_us += us
+
+    # ------------------------------------------------------------------
+    # SMP dispatch rounds
+    # ------------------------------------------------------------------
+    def _dispatch_round(self, t_end: int) -> bool:
+        """Run one parallel dispatch window; ``False`` if nothing ran."""
+        t0 = self.now
+        self.scheduler.place_threads(t0)
+        picks: list[tuple[CPUState, SimThread]] = []
+        for cpu in self.cpu_states:
+            thread = self.scheduler.pick_next_cpu(cpu.index, t0)
+            if thread is None:
+                continue
+            # Claim immediately so higher-numbered CPUs cannot pick the
+            # same thread within this round.
+            thread.state = ThreadState.RUNNING
+            picks.append((cpu, thread))
+        if not picks:
+            return False
+        # All CPUs share one window cap, computed before any slice runs,
+        # so the round is symmetric across CPUs: events scheduled by one
+        # CPU's slice become visible at the next round boundary.
+        next_event = self.events.next_time()
+        window_cap = t_end if next_event is None else min(next_event, t_end)
+        ends: list[int] = []
+        for cpu, thread in picks:
+            self._now_override = t0
+            self._dispatch(cpu, thread, t_end, window_cap=window_cap)
+            ends.append(self._now_override)
+            self._now_override = None
+        window_end = max(ends)
+        if window_end > self.clock.now:
+            self.clock.advance_to(window_end)
+        # CPUs whose thread finished early idle out the rest of the
+        # window (timer-quantised re-dispatch, as on the real hardware);
+        # CPUs that picked nothing idle the whole window.
+        busy = {cpu.index for cpu, _ in picks}
+        for (cpu, _), end in zip(picks, ends):
+            if end < window_end:
+                cpu.idle_us += window_end - end
+        for cpu in self.cpu_states:
+            if cpu.index not in busy:
+                cpu.idle_us += window_end - t0
         return True
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def _charge_dispatch_overhead(self) -> None:
+    def _charge_dispatch_overhead(self, cpu: CPUState) -> None:
         if not self.charge_dispatch_overhead:
             return
         dispatch_hz = US_PER_SEC / self.dispatch_interval_us
-        self._overhead_accumulator += self.cpu.effective_dispatch_cost_us(dispatch_hz)
-        whole = int(self._overhead_accumulator)
+        cpu.overhead_accumulator += self.cpu.effective_dispatch_cost_us(dispatch_hz)
+        whole = int(cpu.overhead_accumulator)
         if whole > 0:
-            self._overhead_accumulator -= whole
-            self.clock.advance_by(whole)
-            self.stolen_dispatch_us += whole
+            cpu.overhead_accumulator -= whole
+            self._tick(whole)
+            cpu.stolen_dispatch_us += whole
 
-    def _dispatch(self, thread: SimThread, t_end: int) -> None:
-        self.dispatch_count += 1
-        self._charge_dispatch_overhead()
+    def _dispatch(
+        self,
+        cpu: CPUState,
+        thread: SimThread,
+        t_end: int,
+        window_cap: Optional[int] = None,
+    ) -> None:
+        dispatch_start = self.now
+        cpu.dispatches += 1
+        self._charge_dispatch_overhead(cpu)
 
         thread.state = ThreadState.RUNNING
         thread.accounting.dispatches += 1
@@ -293,9 +463,14 @@ class Kernel:
         if slice_us <= 0:
             slice_us = self.dispatch_interval_us
         horizon = min(self.now + slice_us, t_end)
-        next_event = self.events.next_time()
-        if next_event is not None:
-            horizon = min(horizon, next_event)
+        if window_cap is not None:
+            # SMP round: the shared window cap already folds in the next
+            # pending event (computed once at round start, for symmetry).
+            horizon = min(horizon, window_cap)
+        else:
+            next_event = self.events.next_time()
+            if next_event is not None:
+                horizon = min(horizon, next_event)
 
         consumed = 0
         outcome = _DispatchOutcome.PREEMPTED
@@ -311,7 +486,7 @@ class Kernel:
                 if remaining > 0:
                     step = min(horizon - self.now, remaining)
                     thread.consume_compute(step)
-                    self.clock.advance_by(step)
+                    self._tick(step)
                     consumed += step
                 if thread.remaining_compute_us == 0:
                     thread.finish_request()
@@ -321,7 +496,7 @@ class Kernel:
             # threads that never yield a Compute request.
             if self.syscall_cost_us > 0:
                 step = min(horizon - self.now, self.syscall_cost_us)
-                self.clock.advance_by(step)
+                self._tick(step)
                 consumed += step
                 if step < self.syscall_cost_us:
                     # Not enough slice left to pay for the syscall; the
@@ -335,6 +510,10 @@ class Kernel:
         thread.accounting.charge(consumed)
         self.scheduler.charge(thread, consumed, self.now)
         self._finish_dispatch(thread, outcome)
+        if self.dispatch_log is not None:
+            self.dispatch_log.append(
+                (dispatch_start, cpu.index, thread.name, outcome, consumed)
+            )
 
     def _finish_dispatch(self, thread: SimThread, outcome: str) -> None:
         acct = thread.accounting
@@ -430,7 +609,7 @@ class Kernel:
                 )
             if channel.space_free() < request.nbytes:
                 return
-            channel.put_waiters.pop(0)
+            channel.put_waiters.popleft()
             channel.commit_put(request.nbytes, now=self.now, thread=waiter)
             waiter.finish_request()
             self._wake(waiter)
@@ -447,7 +626,7 @@ class Kernel:
                 )
             if channel.bytes_available() < request.nbytes:
                 return
-            channel.get_waiters.pop(0)
+            channel.get_waiters.popleft()
             channel.commit_get(request.nbytes, now=self.now, thread=waiter)
             waiter.finish_request()
             waiter._pending_send = request.nbytes
@@ -510,7 +689,7 @@ class Kernel:
         thread.finish_request()
         self.scheduler.on_mutex_release(thread, mutex, self.now)
         if mutex.waiters:
-            successor = mutex.waiters.pop(0)
+            successor = mutex.waiters.popleft()
             mutex.owner = successor
             mutex.acquisitions += 1
             successor.finish_request()

@@ -142,6 +142,10 @@ class SimThread:
         Ticket count used by the lottery-scheduler baseline.
     importance:
         Weight used by the controller's weighted-fair-share squishing.
+    affinity:
+        Optional CPU index this thread is pinned to on a multiprocessor
+        kernel.  ``None`` (the default) lets the scheduler's placement
+        policy migrate the thread freely; see :meth:`pin_to`.
     """
 
     _next_tid = 1
@@ -156,6 +160,7 @@ class SimThread:
         nice: int = 0,
         tickets: int = 100,
         importance: float = 1.0,
+        affinity: Optional[int] = None,
     ) -> None:
         self.tid = SimThread._next_tid
         SimThread._next_tid += 1
@@ -165,6 +170,10 @@ class SimThread:
         self.nice = nice
         self.tickets = tickets
         self.importance = importance
+        self._env: Optional[ThreadEnv] = None
+        self.affinity: Optional[int] = None
+        if affinity is not None:
+            self.pin_to(affinity)
 
         self.state = ThreadState.NEW
         self.accounting = CpuAccounting()
@@ -187,6 +196,27 @@ class SimThread:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimThread(tid={self.tid}, name={self.name!r}, state={self.state.value})"
 
+    def pin_to(self, cpu: Optional[int]) -> None:
+        """Pin this thread to CPU ``cpu`` (``None`` removes the pin).
+
+        Placement policies never migrate a pinned thread; on a
+        single-CPU kernel a pin to CPU 0 is a no-op.  Once the thread
+        is bound to a kernel the pin is validated against its CPU
+        count, matching the check :meth:`Kernel.add_thread` applies to
+        threads pinned before they are added.
+        """
+        if cpu is not None:
+            if cpu < 0:
+                raise ValueError(
+                    f"{self.name}: CPU affinity cannot be negative, got {cpu}"
+                )
+            if self._env is not None and cpu >= self._env.kernel.n_cpus:
+                raise ValueError(
+                    f"{self.name}: cannot pin to CPU {cpu}, the kernel has "
+                    f"only {self._env.kernel.n_cpus} CPU(s)"
+                )
+        self.affinity = cpu
+
     def __hash__(self) -> int:
         return hash(self.tid)
 
@@ -203,6 +233,7 @@ class SimThread:
         External threads (``body=None``) skip this and must have their
         requests injected via :meth:`inject_request`.
         """
+        self._env = env
         if self._body is not None:
             self._generator = self._body(env)
         self.state = ThreadState.READY

@@ -9,6 +9,7 @@ simulation run; the analysis package turns them into the figures.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
@@ -151,6 +152,22 @@ class Tracer:
         for sampler in self._samplers:
             sampler.stop()
         self._samplers.clear()
+
+    def fingerprint(self) -> str:
+        """SHA-256 digest of every series' exact samples.
+
+        Series are hashed in sorted name order and each sample by its
+        integer time and ``repr`` of its float value, so two runs have
+        equal fingerprints iff their traces are byte-identical.  Used
+        by the determinism regression tests.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self._series):
+            digest.update(name.encode())
+            digest.update(b"\x00")
+            for point in self._series[name]:
+                digest.update(f"{point.time_us}:{point.value!r};".encode())
+        return digest.hexdigest()
 
 
 __all__ = ["TracePoint", "TraceSeries", "Tracer"]

@@ -87,6 +87,7 @@ class RealRateSystem:
 def build_real_rate_system(
     config: Optional[ControllerConfig] = None,
     *,
+    n_cpus: int = 1,
     cpu: Optional[CPUModel] = None,
     dispatch_interval_us: int = 1_000,
     charge_dispatch_overhead: bool = True,
@@ -95,20 +96,26 @@ def build_real_rate_system(
     squish_policy: Optional[SquishPolicy] = None,
     enforce_within_slice: bool = False,
     controller_start_us: int = 0,
+    record_dispatches: bool = False,
 ) -> RealRateSystem:
     """Assemble a kernel + RBS scheduler + registry + controller.
 
     Parameters mirror the knobs the experiments vary; everything
     defaults to the paper's prototype configuration (1 ms dispatch
-    interval, 10 ms controller period, overheads charged).
+    interval, 10 ms controller period, overheads charged, one CPU).
+    ``n_cpus`` builds the SMP variant: the kernel dispatches one thread
+    per CPU per round and the controller budgets proportions against
+    ``n_cpus * PROPORTION_SCALE`` of total capacity.
     """
     config = config if config is not None else ControllerConfig()
     scheduler = ReservationScheduler(enforce_within_slice=enforce_within_slice)
     kernel = Kernel(
         scheduler,
+        n_cpus=n_cpus,
         cpu=cpu,
         dispatch_interval_us=dispatch_interval_us,
         charge_dispatch_overhead=charge_dispatch_overhead,
+        record_dispatches=record_dispatches,
     )
     registry = SymbioticRegistry()
     allocator = ProportionAllocator(

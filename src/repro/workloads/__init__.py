@@ -12,6 +12,8 @@ discusses:
   with an expensive decoder stage (Section 4.4's example);
 * :mod:`repro.workloads.webserver` — a server consuming requests from a
   socket (the "server" class of Section 3.2);
+* :mod:`repro.workloads.webfarm` — many such servers on a
+  multiprocessor kernel (the SMP scaling scenario);
 * :mod:`repro.workloads.interactive` — a tty-driven interactive job;
 * :mod:`repro.workloads.io_intensive` — a disk-bottlenecked consumer
   (the "I/O intensive" class), which exercises the reclaim rule;
@@ -32,6 +34,7 @@ from repro.workloads.pulse import (
     PulseSchedule,
     RateSegment,
 )
+from repro.workloads.webfarm import WebFarm
 from repro.workloads.webserver import WebServer
 
 __all__ = [
@@ -47,5 +50,6 @@ __all__ = [
     "PulseSchedule",
     "RateSegment",
     "SoftwareModem",
+    "WebFarm",
     "WebServer",
 ]

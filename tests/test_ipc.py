@@ -93,7 +93,7 @@ class TestMutex:
         mutex = Mutex("m")
         assert not mutex.is_locked()
         assert mutex.owner is None
-        assert mutex.waiters == []
+        assert list(mutex.waiters) == []
 
 
 class TestSymbioticRegistry:
