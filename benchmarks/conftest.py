@@ -1,7 +1,8 @@
 """Shared helpers for the benchmark / figure-reproduction harness.
 
-Every paper figure has one benchmark module.  Each benchmark runs the
-corresponding experiment driver exactly once under ``pytest-benchmark``
+Every paper figure has one benchmark module.  Each benchmark resolves
+its driver through the experiment registry (no hardcoded ``run_*``
+imports) and runs it exactly once under ``pytest-benchmark``
 (``benchmark.pedantic(..., rounds=1)``) — the interesting output is the
 reproduced figure data and the shape assertions, not a timing
 distribution — and prints a paper-vs-measured table so that
@@ -10,6 +11,18 @@ evaluation section in one command.
 """
 
 from __future__ import annotations
+
+import repro.experiments  # noqa: F401 — importing populates the registry
+from repro.experiments.registry import REGISTRY
+
+
+def run_experiment(benchmark, name, **overrides):
+    """Run the registered experiment ``name`` once under the benchmark
+    fixture, with ``overrides`` validated against its parameter schema."""
+    spec = REGISTRY.get(name)
+    return benchmark.pedantic(
+        spec.run, args=(overrides,), rounds=1, iterations=1
+    )
 
 
 def run_once(benchmark, func, *args, **kwargs):

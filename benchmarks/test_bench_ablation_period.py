@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.experiments.ablation_period import run_ablation_period
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_period_adaptation_and_enforcement(benchmark):
-    result = run_once(benchmark, run_ablation_period)
+    result = run_experiment(benchmark, "ablation_period")
     show(result)
 
     # With a small proportion the heuristic grows the period above the

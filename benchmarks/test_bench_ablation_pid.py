@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.experiments.ablation_pid import run_ablation_pid
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_pid_gain_tradeoff(benchmark):
-    result = run_once(benchmark, run_ablation_pid)
+    result = run_experiment(benchmark, "ablation_pid")
     show(result)
 
     low = result.metric("response_time_s:low")

@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.experiments.ablation_squish import run_ablation_squish
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="ablation")
 def test_squish_policies(benchmark):
-    result = run_once(benchmark, run_ablation_squish)
+    result = run_experiment(benchmark, "ablation_squish")
     show(result)
 
     # Plain fair share: equal shares regardless of importance ("this

@@ -6,14 +6,12 @@ Paper: linear with slope .00066 and intercept .00057 (R² = .999);
 
 import pytest
 
-from repro.experiments.figure5 import run_figure5
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="figure5")
 def test_figure5_controller_overhead(benchmark):
-    result = run_once(benchmark, run_figure5)
+    result = run_experiment(benchmark, "figure5")
     show(result)
 
     # Linearity of the modelled overhead (the paper's headline claim).
@@ -32,8 +30,8 @@ def test_figure5_controller_overhead(benchmark):
 
 @pytest.mark.benchmark(group="figure5")
 def test_figure5_overhead_grows_monotonically(benchmark):
-    result = run_once(
-        benchmark, run_figure5, process_counts=(0, 10, 20, 30, 40), sim_seconds=1.0
+    result = run_experiment(
+        benchmark, "figure5", process_counts=(0, 10, 20, 30, 40), sim_seconds=1.0
     )
     _, overheads = result.series["modeled_overhead_vs_processes"]
     assert overheads == sorted(overheads)

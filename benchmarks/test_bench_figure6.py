@@ -8,14 +8,12 @@ width and recover to the half-full set point.
 
 import pytest
 
-from repro.experiments.figure6 import run_figure6
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="figure6")
 def test_figure6_pulse_response(benchmark):
-    result = run_once(benchmark, run_figure6)
+    result = run_experiment(benchmark, "figure6")
     show(result)
 
     # Response time in the same regime as the paper's ~1/3 s.
@@ -41,7 +39,7 @@ def test_figure6_pulse_response(benchmark):
 
 @pytest.mark.benchmark(group="figure6")
 def test_figure6_allocation_tracks_square_wave(benchmark):
-    result = run_once(benchmark, run_figure6)
+    result = run_experiment(benchmark, "figure6")
     times, alloc = result.series["consumer_allocation_ppt"]
 
     def mean_between(t0, t1):

@@ -8,14 +8,12 @@ allocations move in opposition.
 
 import pytest
 
-from repro.experiments.figure7 import run_figure7
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="figure7")
 def test_figure7_response_under_load(benchmark):
-    result = run_once(benchmark, run_figure7)
+    result = run_experiment(benchmark, "figure7")
     show(result)
 
     # The producer's reservation is never squished.
@@ -43,5 +41,5 @@ def test_figure7_response_under_load(benchmark):
 
 @pytest.mark.benchmark(group="figure7")
 def test_figure7_response_time_similar_to_idle_case(benchmark):
-    result = run_once(benchmark, run_figure7)
+    result = run_experiment(benchmark, "figure7")
     assert 0.05 <= result.metric("response_time_s") <= 0.8

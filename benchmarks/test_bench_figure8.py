@@ -7,14 +7,12 @@ overhead is about 2.7 %.
 
 import pytest
 
-from repro.experiments.figure8 import run_figure8
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="figure8")
 def test_figure8_dispatch_overhead_curve(benchmark):
-    result = run_once(benchmark, run_figure8)
+    result = run_experiment(benchmark, "figure8")
     show(result)
 
     # Knee in the right decade, overhead at the knee close to the paper's.
@@ -34,9 +32,9 @@ def test_figure8_dispatch_overhead_curve(benchmark):
 def test_figure8_constant_cost_model_knee_shifts_down(benchmark):
     """With a purely constant per-dispatch cost the curve is gentler and
     the knee detector lands at or below the calibrated model's knee."""
-    result = run_once(
+    result = run_experiment(
         benchmark,
-        run_figure8,
+        "figure8",
         dispatch_cost_us=6.75,
         dispatch_cost_quadratic_us=0.0,
         sim_seconds=1.0,

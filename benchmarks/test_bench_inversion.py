@@ -7,14 +7,12 @@ fixed priorities allow an effectively unbounded inversion.
 
 import pytest
 
-from repro.experiments.inversion import run_inversion_comparison
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="inversion")
 def test_inversion_comparison(benchmark):
-    result = run_once(benchmark, run_inversion_comparison)
+    result = run_experiment(benchmark, "inversion")
     show(result)
 
     deadline = result.metric("deadline_s")

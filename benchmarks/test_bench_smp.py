@@ -9,16 +9,14 @@ the kernel's total capacity.
 
 import pytest
 
-from repro.experiments.smp_scaling import run_smp_scaling
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 CPU_COUNTS = (1, 2, 4)
 
 
 @pytest.mark.benchmark(group="smp")
 def test_smp_scaling_throughput_and_capacity(benchmark):
-    result = run_once(benchmark, run_smp_scaling, cpu_counts=CPU_COUNTS)
+    result = run_experiment(benchmark, "smp_scaling", n_cpus=CPU_COUNTS)
     show(result)
 
     offered = result.metric("offered_rps")
@@ -42,8 +40,8 @@ def test_smp_scaling_throughput_and_capacity(benchmark):
 
 @pytest.mark.benchmark(group="smp")
 def test_smp_placement_spreads_load(benchmark):
-    result = run_once(
-        benchmark, run_smp_scaling, cpu_counts=(4,), duration_s=2.0
+    result = run_experiment(
+        benchmark, "smp_scaling", n_cpus=(4,), duration_s=2.0
     )
     show(result)
 

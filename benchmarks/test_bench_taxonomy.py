@@ -9,14 +9,12 @@ threads soak up the slack without starving anyone.
 
 import pytest
 
-from repro.experiments.taxonomy import run_taxonomy
-
-from benchmarks.conftest import run_once, show
+from benchmarks.conftest import run_experiment, show
 
 
 @pytest.mark.benchmark(group="taxonomy")
 def test_taxonomy_behaviour(benchmark):
-    result = run_once(benchmark, run_taxonomy)
+    result = run_experiment(benchmark, "taxonomy")
     show(result)
 
     # Real-time: exactly the requested reservation.

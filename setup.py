@@ -1,11 +1,36 @@
-"""Setup shim.
+"""Packaging entry point.
 
-All project metadata lives in ``pyproject.toml``; this file exists so
-the package can be installed editable (``pip install -e .``) on
-environments whose setuptools predates PEP 660 editable-install support
-(it falls back to the classic ``setup.py develop`` path).
+The version is single-sourced from ``src/repro/_version.py``; it is
+parsed textually (not imported) so ``setup.py`` works before the
+package's dependencies-of-the-day are importable and regardless of
+``PYTHONPATH``.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_VERSION_FILE = Path(__file__).parent / "src" / "repro" / "_version.py"
+
+
+def read_version() -> str:
+    match = re.search(
+        r'^__version__\s*=\s*"([^"]+)"', _VERSION_FILE.read_text(), re.MULTILINE
+    )
+    if match is None:
+        raise RuntimeError(f"no __version__ found in {_VERSION_FILE}")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=read_version(),
+    description=(
+        "Reproduction of 'A Feedback-driven Proportion Allocator for "
+        "Real-Rate Scheduling' (OSDI 1999) on a deterministic simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+)

@@ -36,6 +36,7 @@ See ``examples/`` for complete programs and ``EXPERIMENTS.md`` for the
 figure-by-figure reproduction results.
 """
 
+from repro._version import __version__
 from repro.core import (
     AdmissionError,
     AllocationDecision,
@@ -51,8 +52,6 @@ from repro.ipc import BoundedBuffer, Pipe, Role, Socket, SymbioticRegistry, TTY
 from repro.sched import ReservationScheduler
 from repro.sim import Kernel, SimThread
 from repro.system import RealRateSystem, build_real_rate_system
-
-__version__ = "1.0.0"
 
 __all__ = [
     "AdmissionError",

@@ -1,0 +1,11 @@
+"""Single source of the package version.
+
+Everything that needs the version reads it from here: ``repro.__init__``
+re-exports it, ``setup.py`` parses this file without importing the
+package, and every JSON artifact the experiment CLI writes is stamped
+with it (next to the artifact schema version).
+"""
+
+__version__ = "1.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,240 @@
+"""The ``python -m repro`` command line.
+
+One surface over every registered experiment::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro describe smp_scaling # schema: params, bounds, quick
+    python -m repro run figure6 --quick --json figure6.json
+    python -m repro run smp_scaling --cpus 4 --seed 7 --param duration_s=1.5
+    python -m repro sweep smp_scaling --param n_cpus=1,2,4 --jobs 3 \
+        --json sweep.json
+
+``run`` executes one experiment (``--param k=v`` overrides one
+parameter; ``--cpus`` / ``--seed`` are shorthands for the ``n_cpus`` /
+``seed`` parameters; ``--quick`` applies the experiment's quick-mode
+overrides) and prints the paper-vs-measured summary.  ``sweep``
+expands cartesian parameter grids (values comma-separated, ``":"``
+separating elements of a list-valued point), fans the points out over
+``--jobs`` worker processes and merges everything into a single
+schema-versioned JSON artifact.  ``--json -`` writes any artifact to
+stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import repro.experiments  # noqa: F401 — importing populates the registry
+from repro._version import __version__
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    ParameterError,
+    UnknownExperimentError,
+)
+from repro.experiments.sweep import run_sweep, sweep_to_json
+
+
+def _parse_param_flags(flags: Sequence[str]) -> dict[str, str]:
+    """``["a=1", "b=2,3"]`` → ``{"a": "1", "b": "2,3"}`` (order kept)."""
+    overrides: dict[str, str] = {}
+    for flag in flags:
+        name, sep, value = flag.partition("=")
+        if not sep or not name:
+            raise ParameterError(
+                f"--param expects name=value, got {flag!r}"
+            )
+        overrides[name] = value
+    return overrides
+
+
+def _apply_shorthands(
+    spec: ExperimentSpec,
+    overrides: dict[str, str],
+    cpus: Optional[int],
+    seed: Optional[int],
+) -> dict[str, str]:
+    """Fold ``--cpus`` / ``--seed`` into the override map."""
+    if cpus is not None:
+        if "n_cpus" not in {p.name for p in spec.params}:
+            raise ParameterError(
+                f"experiment {spec.name!r} has no n_cpus parameter; "
+                f"--cpus does not apply"
+            )
+        overrides.setdefault("n_cpus", str(cpus))
+    if seed is not None:
+        if "seed" not in {p.name for p in spec.params}:
+            raise ParameterError(
+                f"experiment {spec.name!r} has no seed parameter; "
+                f"--seed does not apply"
+            )
+        overrides.setdefault("seed", str(seed))
+    return overrides
+
+
+def _write_artifact(text: str, path: str) -> None:
+    if path == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {path}")
+
+
+# ----------------------------------------------------------------------
+# subcommand handlers
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = REGISTRY.specs()
+    if args.tag:
+        specs = [s for s in specs if args.tag in s.tags]
+    if not specs:
+        print("no experiments registered" + (f" with tag {args.tag!r}" if args.tag else ""))
+        return 1
+    width = max(len(s.name) for s in specs)
+    for spec in specs:
+        tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(f"{spec.name.ljust(width)}  {spec.description}{tags}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = REGISTRY.get(args.experiment)
+    print(f"{spec.name} — {spec.description}")
+    if spec.tags:
+        print(f"tags: {', '.join(spec.tags)}")
+    doc = (spec.func.__doc__ or "").strip()
+    if doc:
+        print(f"\n{doc}")
+    print("\nparameters:")
+    for param in spec.params:
+        quick = (
+            f"  [quick: {spec.quick[param.name]!r}]"
+            if param.name in spec.quick
+            else ""
+        )
+        print(f"  {param.describe()}{quick}")
+    if not spec.params:
+        print("  (none)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = REGISTRY.get(args.experiment)
+    overrides = _apply_shorthands(
+        spec, _parse_param_flags(args.param), args.cpus, args.seed
+    )
+    result = spec.run(overrides, quick=args.quick)
+    if args.json != "-":
+        print(result.summary())
+    if args.json is not None:
+        _write_artifact(result.to_json(), args.json)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = REGISTRY.get(args.experiment)
+    grid = _apply_shorthands(
+        spec, _parse_param_flags(args.param), None, args.seed
+    )
+    if not grid:
+        raise ParameterError(
+            "sweep needs at least one --param name=v1,v2,... axis"
+        )
+    artifact = run_sweep(
+        spec.name, grid, jobs=args.jobs, quick=args.quick
+    )
+    if args.json != "-":
+        points = artifact["points"]
+        print(
+            f"swept {spec.name}: {len(points)} point(s) over "
+            f"{', '.join(artifact['grid'])} with {args.jobs} job(s)"
+        )
+        for point in points:
+            params = ", ".join(f"{k}={v}" for k, v in point["params"].items())
+            n_metrics = len(point["result"]["metrics"])
+            print(f"  {params}: {n_metrics} metrics")
+    if args.json is not None:
+        _write_artifact(sweep_to_json(artifact), args.json)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser assembly
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper-reproduction experiments.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate registered experiments")
+    p_list.add_argument("--tag", help="only experiments carrying this tag")
+    p_list.set_defaults(handler=_cmd_list)
+
+    p_desc = sub.add_parser(
+        "describe", help="show an experiment's parameter schema"
+    )
+    p_desc.add_argument("experiment")
+    p_desc.set_defaults(handler=_cmd_describe)
+
+    def add_run_flags(p: argparse.ArgumentParser, *, sweep: bool) -> None:
+        p.add_argument("experiment")
+        p.add_argument(
+            "--param", action="append", default=[], metavar="NAME=VALUE",
+            help=(
+                "sweep axis name=v1,v2,... (':' separates elements of a "
+                "list-valued point)" if sweep
+                else "parameter override name=value"
+            ),
+        )
+        p.add_argument(
+            "--seed", type=int, help="shorthand for --param seed=S"
+        )
+        p.add_argument(
+            "--quick", action="store_true",
+            help="apply the experiment's quick-mode parameter overrides",
+        )
+        p.add_argument(
+            "--json", metavar="PATH",
+            help="write the JSON artifact to PATH ('-' for stdout)",
+        )
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    add_run_flags(p_run, sweep=False)
+    p_run.add_argument(
+        "--cpus", type=int, help="shorthand for --param n_cpus=N"
+    )
+    p_run.set_defaults(handler=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a cartesian parameter grid, optionally in parallel"
+    )
+    add_run_flags(p_sweep, sweep=True)
+    p_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = run in-process; default 1)",
+    )
+    p_sweep.set_defaults(handler=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ParameterError, UnknownExperimentError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["build_parser", "main"]

@@ -1,8 +1,16 @@
-"""Experiment drivers.
+"""Experiment drivers and the declarative experiment registry.
 
 One module per reproduced figure of the paper, plus extension /
-ablation experiments.  Every driver exposes a ``run_*`` function that
-builds the workload, runs the simulation and returns an
+ablation experiments.  Every driver declares itself to the registry
+with the :func:`repro.experiments.registry.experiment` decorator,
+producing an :class:`~repro.experiments.registry.ExperimentSpec` —
+name, description, typed parameter schema with defaults and bounds,
+and quick-mode overrides.  Importing this package registers all ten
+experiments; enumerate and run them through
+:data:`~repro.experiments.registry.REGISTRY` or the ``python -m repro``
+command line (``list`` / ``describe`` / ``run`` / ``sweep``).
+
+Every experiment returns an
 :class:`repro.analysis.results.ExperimentResult` containing
 
 * the headline metrics (with the paper's reported values alongside,
@@ -10,23 +18,57 @@ builds the workload, runs the simulation and returns an
 * the raw time series needed to redraw the figure, and
 * notes about any deviation from the paper's setup.
 
-The benchmark suite (``benchmarks/``) calls these drivers and asserts
+The historical ``run_*`` entry points remain as thin back-compat
+wrappers around the registered functions.  The benchmark suite
+(``benchmarks/``) resolves drivers through the registry and asserts
 the *shape* properties the paper claims; the examples print their
 summaries.
 """
 
-from repro.experiments.ablation_period import run_ablation_period
-from repro.experiments.ablation_pid import run_ablation_pid
-from repro.experiments.ablation_squish import run_ablation_squish
-from repro.experiments.figure5 import run_figure5
-from repro.experiments.figure6 import run_figure6
-from repro.experiments.figure7 import run_figure7
-from repro.experiments.figure8 import run_figure8
-from repro.experiments.inversion import run_inversion_comparison
-from repro.experiments.smp_scaling import run_smp_scaling
-from repro.experiments.taxonomy import run_taxonomy
+from repro.experiments.ablation_period import (
+    ablation_period_experiment,
+    run_ablation_period,
+)
+from repro.experiments.ablation_pid import ablation_pid_experiment, run_ablation_pid
+from repro.experiments.ablation_squish import (
+    ablation_squish_experiment,
+    run_ablation_squish,
+)
+from repro.experiments.figure5 import figure5_experiment, run_figure5
+from repro.experiments.figure6 import figure6_experiment, run_figure6
+from repro.experiments.figure7 import figure7_experiment, run_figure7
+from repro.experiments.figure8 import figure8_experiment, run_figure8
+from repro.experiments.inversion import inversion_experiment, run_inversion_comparison
+from repro.experiments.registry import (
+    REGISTRY,
+    DuplicateExperimentError,
+    ExperimentRegistry,
+    ExperimentSpec,
+    Param,
+    ParameterError,
+    UnknownExperimentError,
+    experiment,
+)
+from repro.experiments.smp_scaling import run_smp_scaling, smp_scaling_experiment
+from repro.experiments.taxonomy import run_taxonomy, taxonomy_experiment
 
 __all__ = [
+    "DuplicateExperimentError",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "Param",
+    "ParameterError",
+    "REGISTRY",
+    "UnknownExperimentError",
+    "ablation_period_experiment",
+    "ablation_pid_experiment",
+    "ablation_squish_experiment",
+    "experiment",
+    "figure5_experiment",
+    "figure6_experiment",
+    "figure7_experiment",
+    "figure8_experiment",
+    "inversion_experiment",
     "run_ablation_period",
     "run_ablation_pid",
     "run_ablation_squish",
@@ -37,4 +79,6 @@ __all__ = [
     "run_inversion_comparison",
     "run_smp_scaling",
     "run_taxonomy",
+    "smp_scaling_experiment",
+    "taxonomy_experiment",
 ]

@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import build_real_rate_system
 from repro.workloads.pulse import PulseParameters, PulsePipeline, PulseSchedule
@@ -38,9 +39,22 @@ def _low_rate_params() -> PulseParameters:
     )
 
 
-def run_ablation_period(
+@experiment(
+    name="ablation_period",
+    description="Period adaptation and enforcement granularity",
+    tags=("ablation", "period"),
+    params=(
+        Param("sim_seconds", kind="float", default=10.0, minimum=0.5,
+              help="virtual seconds simulated per part"),
+        Param("seed", kind="int", default=None, help="RNG seed (recorded; "
+              "the low-rate pipeline is fully deterministic)"),
+    ),
+    quick={"sim_seconds": 4.0},
+)
+def ablation_period_experiment(
     *,
     sim_seconds: float = 10.0,
+    seed: Optional[int] = None,
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Exercise period adaptation and enforcement-granularity effects."""
@@ -89,6 +103,7 @@ def run_ablation_period(
             "overrun_exact_enforcement": overruns["exact"],
         },
     )
+    result.metadata["seed"] = seed
     result.notes.append(
         "with a small proportion the heuristic grows the period above the "
         "30 ms default to reduce quantisation error; exact enforcement "
@@ -98,4 +113,17 @@ def run_ablation_period(
     return result
 
 
-__all__ = ["run_ablation_period"]
+def run_ablation_period(
+    *,
+    sim_seconds: float = 10.0,
+    config: Optional[ControllerConfig] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``ablation_period``
+    experiment."""
+    return ablation_period_experiment(
+        sim_seconds=sim_seconds, seed=seed, config=config
+    )
+
+
+__all__ = ["ablation_period_experiment", "run_ablation_period"]

@@ -18,6 +18,7 @@ from repro.analysis.response import step_response
 from repro.analysis.results import ExperimentResult
 from repro.analysis.series import mean_absolute_deviation
 from repro.core.config import ControllerConfig
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.swift.pid import PIDGains
 from repro.system import build_real_rate_system
@@ -43,6 +44,10 @@ class GainOutcome:
     response_time_s: float
     overshoot: float
     fill_mad: float
+
+
+#: Labels of the default gain settings (the schema's choices).
+DEFAULT_GAIN_LABELS = tuple(label for label, _, _, _ in DEFAULT_GAIN_SETTINGS)
 
 
 def _evaluate(
@@ -80,13 +85,46 @@ def _evaluate(
     return rise, response.overshoot_fraction, fill_mad
 
 
-def run_ablation_pid(
-    settings: Sequence[tuple[str, float, float, float]] = DEFAULT_GAIN_SETTINGS,
+@experiment(
+    name="ablation_pid",
+    description="PID gain sensitivity (pulse workload)",
+    tags=("ablation", "pid"),
+    params=(
+        Param(
+            "labels", kind="str_list", default=DEFAULT_GAIN_LABELS,
+            choices=DEFAULT_GAIN_LABELS,
+            help="which of the default gain settings to sweep",
+        ),
+        Param("sim_seconds", kind="float", default=8.0, minimum=1.0,
+              help="virtual seconds simulated per gain setting"),
+        Param("seed", kind="int", default=None, help="RNG seed (recorded; "
+              "the pulse workload is fully deterministic)"),
+    ),
+    quick={"labels": ("low", "high"), "sim_seconds": 6.0},
+)
+def ablation_pid_experiment(
+    *,
+    labels: Sequence[str] = DEFAULT_GAIN_LABELS,
+    sim_seconds: float = 8.0,
+    seed: Optional[int] = None,
+    settings: Optional[Sequence[tuple[str, float, float, float]]] = None,
 ) -> ExperimentResult:
-    """Sweep PID gains on the pulse workload."""
+    """Sweep PID gains on the pulse workload.
+
+    ``settings`` (label, kp, ki, kd) overrides ``labels`` when given —
+    the programmatic escape hatch for gains outside the default grid.
+    """
+    if settings is None:
+        by_label = {s[0]: s for s in DEFAULT_GAIN_SETTINGS}
+        unknown = [label for label in labels if label not in by_label]
+        if unknown:
+            raise ValueError(
+                f"unknown gain labels {unknown}; known: {sorted(by_label)}"
+            )
+        settings = tuple(by_label[label] for label in labels)
     outcomes: list[GainOutcome] = []
     for label, kp, ki, kd in settings:
-        rise, overshoot, fill_mad = _evaluate(kp, ki, kd)
+        rise, overshoot, fill_mad = _evaluate(kp, ki, kd, sim_seconds=sim_seconds)
         outcomes.append(
             GainOutcome(
                 label=label, kp=kp, ki=ki, kd=kd,
@@ -107,6 +145,7 @@ def run_ablation_pid(
         list(range(len(outcomes))),
         [o.response_time_s for o in outcomes],
     )
+    result.metadata["seed"] = seed
     result.notes.append(
         "settings: " + ", ".join(
             f"{o.label}(kp={o.kp}, ki={o.ki}, kd={o.kd})" for o in outcomes
@@ -115,4 +154,23 @@ def run_ablation_pid(
     return result
 
 
-__all__ = ["DEFAULT_GAIN_SETTINGS", "GainOutcome", "run_ablation_pid"]
+def run_ablation_pid(
+    settings: Sequence[tuple[str, float, float, float]] = DEFAULT_GAIN_SETTINGS,
+    *,
+    sim_seconds: float = 8.0,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``ablation_pid``
+    experiment."""
+    return ablation_pid_experiment(
+        settings=settings, sim_seconds=sim_seconds, seed=seed
+    )
+
+
+__all__ = [
+    "DEFAULT_GAIN_LABELS",
+    "DEFAULT_GAIN_SETTINGS",
+    "GainOutcome",
+    "ablation_pid_experiment",
+    "run_ablation_pid",
+]

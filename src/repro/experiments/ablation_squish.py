@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
 from repro.core.overload import FairShareSquish, WeightedFairShareSquish
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import build_real_rate_system
 from repro.workloads.cpu_hog import CpuHog
@@ -35,6 +36,7 @@ def _run_with_policy(
     importances: Sequence[float],
     sim_seconds: float,
     config: Optional[ControllerConfig],
+    seed: Optional[int],
 ) -> dict[str, float]:
     cfg = config if config is not None else ControllerConfig()
     if policy_name == "fair":
@@ -45,8 +47,13 @@ def _run_with_policy(
         raise ValueError(f"unknown squish policy {policy_name!r}")
     system = build_real_rate_system(cfg, squish_policy=policy)
     hogs = [
-        CpuHog.attach(system, name=f"hog.i{importance:g}", importance=importance)
-        for importance in importances
+        CpuHog.attach(
+            system,
+            name=f"hog.i{importance:g}",
+            importance=importance,
+            seed=None if seed is None else seed + index,
+        )
+        for index, importance in enumerate(importances)
     ]
     system.run_for(seconds(sim_seconds))
     elapsed = system.now
@@ -57,10 +64,25 @@ def _run_with_policy(
     }
 
 
-def run_ablation_squish(
-    importances: Sequence[float] = DEFAULT_IMPORTANCES,
+@experiment(
+    name="ablation_squish",
+    description="Overload squishing: fair share vs. weighted fair share",
+    tags=("ablation", "overload"),
+    params=(
+        Param("importances", kind="float_list", default=DEFAULT_IMPORTANCES,
+              minimum=0.1, help="importance weights of the competing hogs"),
+        Param("sim_seconds", kind="float", default=8.0, minimum=0.5,
+              help="virtual seconds simulated per policy"),
+        Param("seed", kind="int", default=None,
+              help="seeds the hogs' burst-length jitter"),
+    ),
+    quick={"sim_seconds": 4.0},
+)
+def ablation_squish_experiment(
     *,
+    importances: Sequence[float] = DEFAULT_IMPORTANCES,
     sim_seconds: float = 8.0,
+    seed: Optional[int] = None,
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Compare fair-share and weighted-fair-share squishing."""
@@ -70,7 +92,7 @@ def run_ablation_squish(
     )
     for policy_name in ("fair", "weighted"):
         result.metrics.update(
-            _run_with_policy(policy_name, importances, sim_seconds, config)
+            _run_with_policy(policy_name, importances, sim_seconds, config, seed)
         )
 
     # Convenience ratios used by the benchmarks.
@@ -87,6 +109,7 @@ def run_ablation_squish(
         weighted_top / weighted_base if weighted_base > 0 else float("inf")
     )
     result.metrics["importance_ratio"] = top / base
+    result.metadata["seed"] = seed
     result.notes.append(
         "under plain fair share equally-greedy hogs end up with equal shares "
         "regardless of importance; under weighted fair share the shares "
@@ -96,4 +119,25 @@ def run_ablation_squish(
     return result
 
 
-__all__ = ["DEFAULT_IMPORTANCES", "run_ablation_squish"]
+def run_ablation_squish(
+    importances: Sequence[float] = DEFAULT_IMPORTANCES,
+    *,
+    sim_seconds: float = 8.0,
+    config: Optional[ControllerConfig] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``ablation_squish``
+    experiment."""
+    return ablation_squish_experiment(
+        importances=importances,
+        sim_seconds=sim_seconds,
+        seed=seed,
+        config=config,
+    )
+
+
+__all__ = [
+    "DEFAULT_IMPORTANCES",
+    "ablation_squish_experiment",
+    "run_ablation_squish",
+]

@@ -21,13 +21,13 @@ overhead figures are produced for each point:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.analysis.regression import linear_fit
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
 from repro.core.taxonomy import ThreadSpec
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.sim.requests import Sleep
 from repro.system import build_real_rate_system
@@ -37,6 +37,9 @@ PAPER_SLOPE = 0.00066
 PAPER_INTERCEPT = 0.00057
 PAPER_R_SQUARED = 0.999
 PAPER_OVERHEAD_AT_40 = 0.027
+
+#: Default population sweep (the paper's x axis runs 0–40 jobs).
+DEFAULT_PROCESS_COUNTS = (0, 5, 10, 15, 20, 25, 30, 35, 40)
 
 
 def _dummy_body(env):
@@ -49,11 +52,34 @@ def _dummy_body(env):
         yield Sleep(1_000_000)
 
 
-def run_figure5(
-    process_counts: Sequence[int] = (0, 5, 10, 15, 20, 25, 30, 35, 40),
+@experiment(
+    name="figure5",
+    description="Controller overhead vs. number of controlled processes",
+    tags=("figure", "overhead"),
+    params=(
+        Param(
+            "process_counts", kind="int_list", default=DEFAULT_PROCESS_COUNTS,
+            minimum=0, help="population sizes swept",
+        ),
+        Param(
+            "controller_period_us", kind="int", default=10_000, minimum=1_000,
+            help="controller invocation period",
+        ),
+        Param(
+            "sim_seconds", kind="float", default=2.0, minimum=0.05,
+            help="virtual seconds simulated per point",
+        ),
+        Param("seed", kind="int", default=None, help="RNG seed (recorded; "
+              "this driver's dummy population is fully deterministic)"),
+    ),
+    quick={"process_counts": (0, 10, 20, 30), "sim_seconds": 0.5},
+)
+def figure5_experiment(
     *,
+    process_counts: Sequence[int] = DEFAULT_PROCESS_COUNTS,
     controller_period_us: int = 10_000,
     sim_seconds: float = 2.0,
+    seed: Optional[int] = None,
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 5: controller overhead vs. controlled processes."""
@@ -101,6 +127,7 @@ def run_figure5(
     )
     result.add_series("modeled_overhead_vs_processes", counts, modeled_overheads)
     result.add_series("measured_wall_us_vs_processes", counts, measured_wall_us)
+    result.metadata["seed"] = seed
     result.notes.append(
         "modeled overhead uses the per-process/fixed cost calibrated from the "
         "paper (6.6 us + 5.7 us at a 10 ms period); the measured series is the "
@@ -110,4 +137,30 @@ def run_figure5(
     return result
 
 
-__all__ = ["run_figure5", "PAPER_SLOPE", "PAPER_INTERCEPT", "PAPER_OVERHEAD_AT_40"]
+def run_figure5(
+    process_counts: Sequence[int] = DEFAULT_PROCESS_COUNTS,
+    *,
+    controller_period_us: int = 10_000,
+    sim_seconds: float = 2.0,
+    config: Optional[ControllerConfig] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper; the canonical entry is the registered
+    ``figure5`` experiment (see :mod:`repro.experiments.registry`)."""
+    return figure5_experiment(
+        process_counts=process_counts,
+        controller_period_us=controller_period_us,
+        sim_seconds=sim_seconds,
+        seed=seed,
+        config=config,
+    )
+
+
+__all__ = [
+    "DEFAULT_PROCESS_COUNTS",
+    "PAPER_INTERCEPT",
+    "PAPER_OVERHEAD_AT_40",
+    "PAPER_SLOPE",
+    "figure5_experiment",
+    "run_figure5",
+]

@@ -28,6 +28,7 @@ from repro.analysis.response import step_response
 from repro.analysis.results import ExperimentResult
 from repro.analysis.series import mean_absolute_deviation, rate_from_cumulative
 from repro.core.config import ControllerConfig
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import RealRateSystem, build_real_rate_system
 from repro.workloads.pulse import PulseParameters, PulsePipeline, PulseSchedule
@@ -40,6 +41,18 @@ RATE_SAMPLE_PERIOD_US = 200_000
 
 #: Sampling period for the fill-level series (microseconds).
 FILL_SAMPLE_PERIOD_US = 50_000
+
+
+def small_figure6_schedule(base_rate: float) -> PulseSchedule:
+    """A shrunken pulse schedule for quick-mode runs and fast tests."""
+    return PulseSchedule.paper_figure6(
+        base_rate,
+        rising_widths_s=(1.5,),
+        falling_widths_s=(1.5,),
+        gap_s=1.5,
+        start_s=2.0,
+        tail_s=1.0,
+    )
 
 
 def _instrument(system: RealRateSystem, pipeline: PulsePipeline) -> None:
@@ -137,21 +150,46 @@ def _collect(
     )
 
 
-def run_figure6(
+@experiment(
+    name="figure6",
+    description="Controller responsiveness on an otherwise idle system",
+    tags=("figure", "responsiveness"),
+    params=(
+        Param(
+            "small_schedule", kind="bool", default=False,
+            help="use a single shortened rising/falling pulse pair",
+        ),
+        Param(
+            "extra_seconds", kind="float", default=1.0, minimum=0.0,
+            help="tail simulated past the end of the pulse schedule",
+        ),
+        Param("n_cpus", kind="int", default=1, minimum=1, maximum=64,
+              help="CPUs in the simulated kernel"),
+        Param("seed", kind="int", default=None, help="RNG seed (recorded; "
+              "the pulse pipeline is fully deterministic)"),
+    ),
+    quick={"small_schedule": True},
+)
+def figure6_experiment(
     *,
+    small_schedule: bool = False,
+    extra_seconds: float = 1.0,
+    n_cpus: int = 1,
+    seed: Optional[int] = None,
     config: Optional[ControllerConfig] = None,
     params: Optional[PulseParameters] = None,
     schedule: Optional[PulseSchedule] = None,
-    extra_seconds: float = 1.0,
 ) -> ExperimentResult:
     """Reproduce Figure 6: the pulse pipeline on an otherwise idle system."""
     params = params if params is not None else PulseParameters()
-    schedule = (
-        schedule
-        if schedule is not None
-        else PulseSchedule.paper_figure6(params.base_rate_bytes_per_cpu_us)
-    )
-    system = build_real_rate_system(config)
+    if schedule is None:
+        if small_schedule:
+            schedule = small_figure6_schedule(params.base_rate_bytes_per_cpu_us)
+        else:
+            schedule = PulseSchedule.paper_figure6(
+                params.base_rate_bytes_per_cpu_us
+            )
+    system = build_real_rate_system(config, n_cpus=n_cpus)
     pipeline = PulsePipeline.attach(system, schedule=schedule, params=params)
     _instrument(system, pipeline)
     system.run_for(schedule.end_us() + seconds(extra_seconds))
@@ -162,6 +200,7 @@ def run_figure6(
         paper_values={"response_time_s": PAPER_RESPONSE_TIME_S},
     )
     _collect(system, pipeline, schedule, result)
+    result.metadata["seed"] = seed
     result.notes.append(
         "byte rates depend on the simulated CPU's quantisation overrun and so "
         "differ in absolute value from the paper's; the reproduced claims are "
@@ -171,4 +210,29 @@ def run_figure6(
     return result
 
 
-__all__ = ["PAPER_RESPONSE_TIME_S", "run_figure6", "_collect", "_instrument"]
+def run_figure6(
+    *,
+    config: Optional[ControllerConfig] = None,
+    params: Optional[PulseParameters] = None,
+    schedule: Optional[PulseSchedule] = None,
+    extra_seconds: float = 1.0,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``figure6`` experiment."""
+    return figure6_experiment(
+        config=config,
+        params=params,
+        schedule=schedule,
+        extra_seconds=extra_seconds,
+        seed=seed,
+    )
+
+
+__all__ = [
+    "PAPER_RESPONSE_TIME_S",
+    "figure6_experiment",
+    "run_figure6",
+    "small_figure6_schedule",
+    "_collect",
+    "_instrument",
+]

@@ -19,7 +19,8 @@ from typing import Optional
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
-from repro.experiments.figure6 import _collect, _instrument
+from repro.experiments.figure6 import _collect, _instrument, small_figure6_schedule
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import build_real_rate_system
 from repro.workloads.cpu_hog import CpuHog
@@ -42,24 +43,51 @@ def _correlation(xs: list[float], ys: list[float]) -> float:
     return sxy / (sxx * syy) ** 0.5
 
 
-def run_figure7(
+@experiment(
+    name="figure7",
+    description="Controller response under load (pulse pipeline + CPU hog)",
+    tags=("figure", "responsiveness", "overload"),
+    params=(
+        Param(
+            "small_schedule", kind="bool", default=False,
+            help="use a single shortened rising/falling pulse pair",
+        ),
+        Param("hog_importance", kind="float", default=1.0, minimum=0.0,
+              help="importance weight of the competing hog"),
+        Param(
+            "extra_seconds", kind="float", default=1.0, minimum=0.0,
+            help="tail simulated past the end of the pulse schedule",
+        ),
+        Param("n_cpus", kind="int", default=1, minimum=1, maximum=64,
+              help="CPUs in the simulated kernel"),
+        Param("seed", kind="int", default=None,
+              help="seeds the hog's burst-length jitter"),
+    ),
+    quick={"small_schedule": True},
+)
+def figure7_experiment(
     *,
+    small_schedule: bool = False,
+    hog_importance: float = 1.0,
+    extra_seconds: float = 1.0,
+    n_cpus: int = 1,
+    seed: Optional[int] = None,
     config: Optional[ControllerConfig] = None,
     params: Optional[PulseParameters] = None,
     schedule: Optional[PulseSchedule] = None,
-    hog_importance: float = 1.0,
-    extra_seconds: float = 1.0,
 ) -> ExperimentResult:
     """Reproduce Figure 7: the pulse pipeline with a competing CPU hog."""
     params = params if params is not None else PulseParameters()
-    schedule = (
-        schedule
-        if schedule is not None
-        else PulseSchedule.paper_figure6(params.base_rate_bytes_per_cpu_us)
-    )
-    system = build_real_rate_system(config)
+    if schedule is None:
+        if small_schedule:
+            schedule = small_figure6_schedule(params.base_rate_bytes_per_cpu_us)
+        else:
+            schedule = PulseSchedule.paper_figure6(
+                params.base_rate_bytes_per_cpu_us
+            )
+    system = build_real_rate_system(config, n_cpus=n_cpus)
     pipeline = PulsePipeline.attach(system, schedule=schedule, params=params)
-    hog = CpuHog.attach(system, importance=hog_importance)
+    hog = CpuHog.attach(system, importance=hog_importance, seed=seed)
     _instrument(system, pipeline)
     system.run_for(schedule.end_us() + seconds(extra_seconds))
 
@@ -103,6 +131,7 @@ def run_figure7(
     result.metrics["consumer_hog_allocation_correlation"] = _correlation(
         consumer_alloc.values()[: n], hog_alloc.values()[: n]
     )
+    result.metadata["seed"] = seed
     result.notes.append(
         "the hog's allocation mirrors the consumer's (strongly negative "
         "correlation): when the producer speeds up, the consumer's growing "
@@ -112,4 +141,24 @@ def run_figure7(
     return result
 
 
-__all__ = ["run_figure7"]
+def run_figure7(
+    *,
+    config: Optional[ControllerConfig] = None,
+    params: Optional[PulseParameters] = None,
+    schedule: Optional[PulseSchedule] = None,
+    hog_importance: float = 1.0,
+    extra_seconds: float = 1.0,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``figure7`` experiment."""
+    return figure7_experiment(
+        config=config,
+        params=params,
+        schedule=schedule,
+        hog_importance=hog_importance,
+        extra_seconds=extra_seconds,
+        seed=seed,
+    )
+
+
+__all__ = ["figure7_experiment", "run_figure7"]

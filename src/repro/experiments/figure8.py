@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 from repro.analysis.results import ExperimentResult
 from repro.analysis.series import find_knee
 from repro.core.config import ControllerConfig
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import US_PER_SEC, seconds
 from repro.sim.cpu import CPUModel
 from repro.sim.kernel import Kernel
@@ -72,12 +73,39 @@ def _available_fraction(
     return grabber.accounting.total_us / kernel.now
 
 
-def run_figure8(
-    frequencies_hz: Sequence[float] = DEFAULT_FREQUENCIES_HZ,
+@experiment(
+    name="figure8",
+    description="Dispatch overhead vs. dispatcher frequency",
+    tags=("figure", "overhead"),
+    params=(
+        Param(
+            "frequencies_hz", kind="float_list", default=DEFAULT_FREQUENCIES_HZ,
+            minimum=1.0, help="dispatcher frequencies swept",
+        ),
+        Param("sim_seconds", kind="float", default=2.0, minimum=0.05,
+              help="virtual seconds simulated per frequency"),
+        Param("dispatch_cost_us", kind="float", default=CALIBRATED_BASE_COST_US,
+              minimum=0.0, help="fixed per-dispatch cost"),
+        Param(
+            "dispatch_cost_quadratic_us", kind="float",
+            default=CALIBRATED_QUADRATIC_COST_US, minimum=0.0,
+            help="super-linear per-dispatch cost term",
+        ),
+        Param("seed", kind="int", default=None, help="RNG seed (recorded; "
+              "the grabber workload is fully deterministic)"),
+    ),
+    quick={
+        "frequencies_hz": (100, 1_000, 2_000, 4_000, 8_000, 10_000),
+        "sim_seconds": 0.5,
+    },
+)
+def figure8_experiment(
     *,
+    frequencies_hz: Sequence[float] = DEFAULT_FREQUENCIES_HZ,
     sim_seconds: float = 2.0,
     dispatch_cost_us: float = CALIBRATED_BASE_COST_US,
     dispatch_cost_quadratic_us: float = CALIBRATED_QUADRATIC_COST_US,
+    seed: Optional[int] = None,
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 8: available CPU vs. dispatcher frequency."""
@@ -125,6 +153,7 @@ def run_figure8(
         list(frequencies),
         [fractions[f] for f in frequencies],
     )
+    result.metadata["seed"] = seed
     result.notes.append(
         "per-dispatch cost calibrated so a 4 kHz dispatcher loses ~2.7% of "
         "the CPU (the paper's knee) and a 10 kHz dispatcher ~15%; the "
@@ -134,9 +163,30 @@ def run_figure8(
     return result
 
 
+def run_figure8(
+    frequencies_hz: Sequence[float] = DEFAULT_FREQUENCIES_HZ,
+    *,
+    sim_seconds: float = 2.0,
+    dispatch_cost_us: float = CALIBRATED_BASE_COST_US,
+    dispatch_cost_quadratic_us: float = CALIBRATED_QUADRATIC_COST_US,
+    config: Optional[ControllerConfig] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``figure8`` experiment."""
+    return figure8_experiment(
+        frequencies_hz=frequencies_hz,
+        sim_seconds=sim_seconds,
+        dispatch_cost_us=dispatch_cost_us,
+        dispatch_cost_quadratic_us=dispatch_cost_quadratic_us,
+        seed=seed,
+        config=config,
+    )
+
+
 __all__ = [
     "DEFAULT_FREQUENCIES_HZ",
     "PAPER_KNEE_HZ",
     "PAPER_OVERHEAD_AT_KNEE",
+    "figure8_experiment",
     "run_figure8",
 ]

@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
+from repro.experiments.registry import Param, experiment
 from repro.sched.priority import FixedPriorityScheduler
 from repro.sim.clock import seconds
 from repro.sim.kernel import Kernel
@@ -48,9 +49,22 @@ def _run_real_rate(
     return scenario, system.now
 
 
-def run_inversion_comparison(
+@experiment(
+    name="inversion",
+    description="Priority inversion: fixed priorities vs. real-rate scheduling",
+    tags=("extension", "inversion"),
+    params=(
+        Param("sim_seconds", kind="float", default=10.0, minimum=0.5,
+              help="virtual seconds simulated per scheduler"),
+        Param("seed", kind="int", default=None, help="RNG seed (recorded; "
+              "the inversion scenario is fully deterministic)"),
+    ),
+    quick={"sim_seconds": 4.0},
+)
+def inversion_experiment(
     *,
     sim_seconds: float = 10.0,
+    seed: Optional[int] = None,
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Compare the inversion scenario across the three schedulers."""
@@ -87,7 +101,20 @@ def run_inversion_comparison(
         "without any mutex-specific mechanism because the low task is never "
         "starved."
     )
+    result.metadata["seed"] = seed
     return result
 
 
-__all__ = ["run_inversion_comparison"]
+def run_inversion_comparison(
+    *,
+    sim_seconds: float = 10.0,
+    config: Optional[ControllerConfig] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``inversion`` experiment."""
+    return inversion_experiment(
+        sim_seconds=sim_seconds, seed=seed, config=config
+    )
+
+
+__all__ = ["inversion_experiment", "run_inversion_comparison"]

@@ -32,22 +32,55 @@ from typing import Optional, Sequence
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import PROPORTION_SCALE, ControllerConfig
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import build_real_rate_system
 from repro.workloads.webfarm import WebFarm
 
+#: Default CPU counts swept.
+DEFAULT_CPU_COUNTS = (1, 2, 4, 8)
 
-def run_smp_scaling(
+
+@experiment(
+    name="smp_scaling",
+    description="Web-farm throughput vs CPU count (SMP extension)",
+    tags=("extension", "smp", "scaling"),
+    params=(
+        Param(
+            "n_cpus", kind="int_list", default=DEFAULT_CPU_COUNTS,
+            minimum=1, maximum=64,
+            help="CPU counts swept (a single value measures one point)",
+        ),
+        Param("n_servers", kind="int", default=8, minimum=1,
+              help="independent request/server pairs in the farm"),
+        Param("requests_per_second", kind="float", default=150.0, minimum=1.0,
+              help="offered load per server"),
+        Param("service_cpu_us", kind="int", default=1_500, minimum=1,
+              help="CPU per request"),
+        Param("duration_s", kind="float", default=3.0, minimum=0.1,
+              help="virtual seconds simulated per CPU count"),
+        Param("pin", kind="bool", default=False,
+              help="pin server i to CPU i % n_cpus"),
+        Param("seed", kind="int", default=None,
+              help="seeds per-server arrival jitter (None = periodic)"),
+    ),
+    quick={"n_cpus": (1, 2), "duration_s": 1.0},
+)
+def smp_scaling_experiment(
     *,
-    config: Optional[ControllerConfig] = None,
-    cpu_counts: Sequence[int] = (1, 2, 4, 8),
+    n_cpus: Sequence[int] = DEFAULT_CPU_COUNTS,
     n_servers: int = 8,
     requests_per_second: float = 150.0,
     service_cpu_us: int = 1_500,
     duration_s: float = 3.0,
     pin: bool = False,
+    seed: Optional[int] = None,
+    config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Sweep the web farm over kernels with increasing CPU counts."""
+    if isinstance(n_cpus, int):
+        n_cpus = (n_cpus,)
+    cpu_counts = tuple(n_cpus)
     if not cpu_counts:
         raise ValueError("need at least one CPU count to sweep")
     offered_rps = n_servers * float(requests_per_second)
@@ -59,14 +92,15 @@ def run_smp_scaling(
         title="Web-farm throughput vs CPU count (SMP extension)",
     )
 
-    for n_cpus in cpu_counts:
-        system = build_real_rate_system(config, n_cpus=n_cpus)
+    for count in cpu_counts:
+        system = build_real_rate_system(config, n_cpus=count)
         farm = WebFarm.attach(
             system,
             n_servers=n_servers,
             requests_per_second=requests_per_second,
             service_cpu_us=service_cpu_us,
             pin=pin,
+            seed=seed,
         )
         system.run_for(seconds(duration_s))
 
@@ -76,14 +110,14 @@ def run_smp_scaling(
         throughputs.append(served_rps)
         peak_granted.append(peak)
 
-        result.metrics[f"served_rps_{n_cpus}cpu"] = served_rps
-        result.metrics[f"peak_granted_ppt_{n_cpus}cpu"] = peak
-        result.metrics[f"capacity_ppt_{n_cpus}cpu"] = float(
-            n_cpus * PROPORTION_SCALE
+        result.metrics[f"served_rps_{count}cpu"] = served_rps
+        result.metrics[f"peak_granted_ppt_{count}cpu"] = peak
+        result.metrics[f"capacity_ppt_{count}cpu"] = float(
+            count * PROPORTION_SCALE
         )
         for state in system.kernel.cpu_states:
             result.metrics[
-                f"busy_fraction_{n_cpus}cpu_cpu{state.index}"
+                f"busy_fraction_{count}cpu_cpu{state.index}"
             ] = state.busy_fraction(system.now)
 
     result.metrics["offered_rps"] = offered_rps
@@ -95,8 +129,8 @@ def run_smp_scaling(
     baseline_index = min(range(len(cpu_counts)), key=lambda i: cpu_counts[i])
     base = throughputs[baseline_index]
     result.metrics["speedup_baseline_cpus"] = float(cpu_counts[baseline_index])
-    for n_cpus, rps in zip(cpu_counts, throughputs):
-        result.metrics[f"speedup_{n_cpus}cpu"] = rps / base if base > 0 else 0.0
+    for count, rps in zip(cpu_counts, throughputs):
+        result.metrics[f"speedup_{count}cpu"] = rps / base if base > 0 else 0.0
 
     result.add_series(
         "served_rps_vs_cpus", [float(n) for n in cpu_counts], throughputs
@@ -104,6 +138,7 @@ def run_smp_scaling(
     result.add_series(
         "peak_granted_ppt_vs_cpus", [float(n) for n in cpu_counts], peak_granted
     )
+    result.metadata["seed"] = seed
     result.notes.append(
         "extension beyond the paper: the single-CPU prototype cannot run this; "
         "the reproduced claim is that feedback-driven proportion allocation "
@@ -114,4 +149,29 @@ def run_smp_scaling(
     return result
 
 
-__all__ = ["run_smp_scaling"]
+def run_smp_scaling(
+    *,
+    config: Optional[ControllerConfig] = None,
+    cpu_counts: Sequence[int] = DEFAULT_CPU_COUNTS,
+    n_servers: int = 8,
+    requests_per_second: float = 150.0,
+    service_cpu_us: int = 1_500,
+    duration_s: float = 3.0,
+    pin: bool = False,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``smp_scaling``
+    experiment (whose sweep parameter is named ``n_cpus``)."""
+    return smp_scaling_experiment(
+        n_cpus=cpu_counts,
+        n_servers=n_servers,
+        requests_per_second=requests_per_second,
+        service_cpu_us=service_cpu_us,
+        duration_s=duration_s,
+        pin=pin,
+        seed=seed,
+        config=config,
+    )
+
+
+__all__ = ["DEFAULT_CPU_COUNTS", "run_smp_scaling", "smp_scaling_experiment"]

@@ -1,0 +1,134 @@
+"""Parameter-grid sweeps with parallel worker processes.
+
+A sweep takes one registered experiment and a grid of parameter values
+(``{"n_cpus": "1,2,4", "seed": "0,1,2"}``), expands the cartesian
+product into points, runs every point — serially or fanned out over a
+:class:`concurrent.futures.ProcessPoolExecutor` — and merges the
+per-point results into one schema-versioned artifact.
+
+Results cross the process boundary as
+:meth:`~repro.analysis.results.ExperimentResult.to_dict` dictionaries,
+and the merged artifact is serialized with sorted keys, so a sweep is
+byte-for-byte reproducible regardless of worker count: the simulation
+itself is deterministic, point order is the deterministic grid order,
+and workers only change *where* a point runs, never its inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Mapping, Optional, Sequence
+
+from repro._version import __version__
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    ParameterError,
+    _jsonable,
+)
+
+#: Version of the merged sweep-artifact wire format.
+SWEEP_SCHEMA_VERSION = 1
+
+
+def expand_grid(
+    spec: ExperimentSpec, grid: Mapping[str, Any]
+) -> tuple[dict[str, list[Any]], list[dict[str, Any]]]:
+    """Expand a raw grid into (parsed axes, cartesian product points).
+
+    Each grid value may be a CLI string — split on ``","`` into sweep
+    values, each parsed by the parameter's schema (so a list-typed
+    parameter uses ``":"`` inside one value: ``n_cpus=1:2:4,8`` is two
+    points) — or an already-typed sequence of sweep values.
+
+    Points are emitted in deterministic order: the last-listed axis
+    varies fastest, like nested loops in the order the axes were given.
+    """
+    axes: dict[str, list[Any]] = {}
+    for name, raw in grid.items():
+        param = spec.param(name)
+        if isinstance(raw, str):
+            tokens = [t for t in raw.split(",") if t.strip()]
+            if not tokens:
+                raise ParameterError(
+                    f"parameter {name!r}: no sweep values in {raw!r}"
+                )
+            axes[name] = [param.parse(token) for token in tokens]
+        elif isinstance(raw, Sequence):
+            axes[name] = [param.parse(value) for value in raw]
+        else:
+            axes[name] = [param.parse(raw)]
+
+    points: list[dict[str, Any]] = [{}]
+    for name, values in axes.items():
+        points = [
+            {**point, name: value} for point in points for value in values
+        ]
+    return axes, points
+
+
+def _run_point(task: tuple[str, dict[str, Any], bool]) -> dict[str, Any]:
+    """Worker entry: run one grid point, return its result as a dict.
+
+    Top-level (picklable) and self-contained: it re-imports the
+    experiment modules so it works under both the ``fork`` and
+    ``spawn`` multiprocessing start methods.
+    """
+    name, overrides, quick = task
+    import repro.experiments  # noqa: F401 — populate the registry
+
+    return REGISTRY.run(name, overrides, quick=quick).to_dict()
+
+
+def run_sweep(
+    name: str,
+    grid: Mapping[str, Any],
+    *,
+    jobs: int = 1,
+    quick: bool = False,
+) -> dict[str, Any]:
+    """Run the full grid and return the merged artifact dictionary.
+
+    ``jobs`` ≤ 1 runs every point in this process; larger values fan
+    points out over that many worker processes.  Both paths produce an
+    identical artifact.
+    """
+    spec = REGISTRY.get(name)
+    axes, points = expand_grid(spec, grid)
+    tasks = [(name, point, quick) for point in points]
+
+    if jobs <= 1 or len(tasks) <= 1:
+        result_dicts = [_run_point(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            result_dicts = list(pool.map(_run_point, tasks))
+
+    return {
+        "schema_version": SWEEP_SCHEMA_VERSION,
+        "repro_version": __version__,
+        "kind": "sweep",
+        "experiment": name,
+        "quick": quick,
+        "grid": {
+            axis: [_jsonable(value) for value in values]
+            for axis, values in axes.items()
+        },
+        "points": [
+            {"params": {k: _jsonable(v) for k, v in point.items()}, "result": rd}
+            for point, rd in zip(points, result_dicts)
+        ],
+    }
+
+
+def sweep_to_json(artifact: Mapping[str, Any], *, indent: Optional[int] = 2) -> str:
+    """Deterministic JSON text for a merged sweep artifact."""
+    return json.dumps(artifact, sort_keys=True, indent=indent)
+
+
+__all__ = [
+    "SWEEP_SCHEMA_VERSION",
+    "expand_grid",
+    "run_sweep",
+    "sweep_to_json",
+]

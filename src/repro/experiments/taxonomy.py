@@ -23,6 +23,7 @@ from typing import Optional
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
 from repro.core.taxonomy import ThreadClass, ThreadSpec
+from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.sim.requests import Compute, Sleep
 from repro.system import build_real_rate_system
@@ -41,13 +42,29 @@ def _aperiodic_body(env):
         yield Sleep(7_000)
 
 
-def run_taxonomy(
+@experiment(
+    name="taxonomy",
+    description="Thread taxonomy behaviour (Figure 2's four classes)",
+    tags=("figure", "taxonomy"),
+    params=(
+        Param("sim_seconds", kind="float", default=10.0, minimum=0.5,
+              help="virtual seconds simulated"),
+        Param("n_cpus", kind="int", default=1, minimum=1, maximum=64,
+              help="CPUs in the simulated kernel"),
+        Param("seed", kind="int", default=None,
+              help="seeds the miscellaneous hog's burst-length jitter"),
+    ),
+    quick={"sim_seconds": 4.0},
+)
+def taxonomy_experiment(
     *,
     sim_seconds: float = 10.0,
+    n_cpus: int = 1,
+    seed: Optional[int] = None,
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Run one thread of each Figure 2 class and report the outcome."""
-    system = build_real_rate_system(config)
+    system = build_real_rate_system(config, n_cpus=n_cpus)
 
     # Real-time + real-rate: the pulse pipeline provides one of each
     # (producer = real-time reservation, consumer = real-rate).
@@ -61,7 +78,7 @@ def run_taxonomy(
         "aperiodic", _aperiodic_body, spec=ThreadSpec(proportion_ppt=150)
     )
     # Miscellaneous: the CPU hog.
-    hog = CpuHog.attach(system)
+    hog = CpuHog.attach(system, seed=seed)
 
     system.run_for(seconds(sim_seconds))
 
@@ -113,7 +130,20 @@ def run_taxonomy(
         result.metrics[f"class_is_real_time:{name}"] = float(
             decision.thread_class is ThreadClass.REAL_TIME
         )
+    result.metadata["seed"] = seed
     return result
 
 
-__all__ = ["run_taxonomy"]
+def run_taxonomy(
+    *,
+    sim_seconds: float = 10.0,
+    config: Optional[ControllerConfig] = None,
+    seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Back-compat wrapper around the registered ``taxonomy`` experiment."""
+    return taxonomy_experiment(
+        sim_seconds=sim_seconds, seed=seed, config=config
+    )
+
+
+__all__ = ["run_taxonomy", "taxonomy_experiment"]

@@ -9,6 +9,7 @@ constant-pressure heuristic; under overload it is squished.
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
 from repro.core.taxonomy import ThreadSpec
@@ -20,17 +21,31 @@ from repro.system import RealRateSystem
 class CpuHog:
     """A thread that consumes every cycle it is given."""
 
-    def __init__(self, burst_us: int = 5_000, importance: float = 1.0) -> None:
+    def __init__(
+        self,
+        burst_us: int = 5_000,
+        importance: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
         if burst_us <= 0:
             raise ValueError(f"burst must be positive, got {burst_us}")
         self.burst_us = burst_us
         self.importance = importance
         self.thread: Optional[SimThread] = None
+        self._rng = random.Random(seed) if seed is not None else None
 
     def body(self, env: ThreadEnv):
-        """Loop forever burning CPU in fixed-size bursts."""
+        """Loop forever burning CPU in bursts.
+
+        Bursts are fixed-size unless a seed was given, in which case
+        each burst length is drawn (reproducibly) from ±50% of the
+        nominal size.
+        """
         while True:
-            yield Compute(self.burst_us)
+            burst = self.burst_us
+            if self._rng is not None:
+                burst = max(1, int(round(burst * self._rng.uniform(0.5, 1.5))))
+            yield Compute(burst)
 
     @classmethod
     def attach(
@@ -40,9 +55,10 @@ class CpuHog:
         *,
         burst_us: int = 5_000,
         importance: float = 1.0,
+        seed: Optional[int] = None,
     ) -> "CpuHog":
         """Create a hog thread under control of ``system``'s allocator."""
-        hog = cls(burst_us=burst_us, importance=importance)
+        hog = cls(burst_us=burst_us, importance=importance, seed=seed)
         hog.thread = system.spawn_controlled(
             name,
             hog.body,

@@ -45,6 +45,7 @@ class WebFarm:
         socket_capacity_bytes: int = 16 * 1024,
         pin: bool = False,
         name: str = "farm",
+        seed: Optional[int] = None,
     ) -> "WebFarm":
         """Build ``n_servers`` web servers inside ``system``.
 
@@ -65,6 +66,11 @@ class WebFarm:
             ``i % n_cpus`` (its generator stays unpinned — generators
             mostly sleep).  When ``False`` placement is left to the
             scheduler's policy.
+        seed:
+            When given, server ``i`` jitters its arrivals with a
+            :class:`random.Random` seeded ``seed + i`` (see
+            :class:`WebServer`); ``None`` keeps strictly periodic
+            arrivals.
         """
         if n_servers <= 0:
             raise ValueError(f"need at least one server, got {n_servers}")
@@ -78,6 +84,7 @@ class WebFarm:
                 service_cpu_us=service_cpu_us,
                 request_bytes=request_bytes,
                 socket_capacity_bytes=socket_capacity_bytes,
+                seed=None if seed is None else seed + i,
             )
             if pin:
                 server.server.pin_to(i % n_cpus)

@@ -12,6 +12,7 @@ real-rate applications must follow.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Optional
 
 from repro.core.taxonomy import ThreadSpec
@@ -38,6 +39,15 @@ class WebServer:
         Receive-buffer size (the progress metric's denominator).
     importance:
         The server's importance weight for overload squishing.
+    seed:
+        When given, arrivals are jittered by a :class:`random.Random`
+        seeded with this value (multiplicative, ±``arrival_jitter``),
+        so experiments can sweep seeds and still be exactly
+        reproducible per seed.  ``None`` (the default) keeps the
+        historical strictly-periodic arrivals.
+    arrival_jitter:
+        Fractional width of the inter-arrival jitter; only applied
+        when ``seed`` is set.
     """
 
     def __init__(
@@ -47,6 +57,8 @@ class WebServer:
         requests_per_second: float | Callable[[int], float] = 200.0,
         socket_capacity_bytes: int = 32 * 1024,
         importance: float = 1.0,
+        seed: Optional[int] = None,
+        arrival_jitter: float = 0.2,
     ) -> None:
         if request_bytes <= 0:
             raise ValueError(f"request size must be positive, got {request_bytes}")
@@ -56,9 +68,15 @@ class WebServer:
             )
         self.request_bytes = request_bytes
         self.service_cpu_us = service_cpu_us
+        if not 0.0 <= arrival_jitter < 1.0:
+            raise ValueError(
+                f"arrival jitter must be in [0, 1), got {arrival_jitter}"
+            )
         self._load = requests_per_second
         self.socket_capacity_bytes = socket_capacity_bytes
         self.importance = importance
+        self.arrival_jitter = arrival_jitter
+        self._rng = random.Random(seed) if seed is not None else None
 
         self.socket: Optional[Socket] = None
         self.generator: Optional[SimThread] = None
@@ -82,6 +100,11 @@ class WebServer:
         while True:
             rate = max(1e-6, self.offered_load(env.now))
             inter_arrival_us = max(1, int(round(1_000_000 / rate)))
+            if self._rng is not None and self.arrival_jitter > 0:
+                scale = self._rng.uniform(
+                    1.0 - self.arrival_jitter, 1.0 + self.arrival_jitter
+                )
+                inter_arrival_us = max(1, int(round(inter_arrival_us * scale)))
             yield Sleep(inter_arrival_us)
             yield Compute(10)
             yield Put(self.socket, self.request_bytes)
