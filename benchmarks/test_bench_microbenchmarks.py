@@ -75,3 +75,71 @@ def test_dispatch_throughput(benchmark):
 
     dispatches = benchmark(run)
     assert dispatches >= 490
+
+
+# ----------------------------------------------------------------------
+# scheduler hot-path scaling guards
+#
+# The reservation scheduler's dispatch operations are incremental
+# (heap-backed); these benchmarks time the three hot entry points at
+# 8/64/256 registered threads.  A regression back to per-pick scans
+# shows up as superlinear growth across the size groups.
+# ----------------------------------------------------------------------
+def _loaded_scheduler(n_threads: int) -> Kernel:
+    """A kernel with ``n_threads`` over-committed reservation spinners."""
+    kernel = Kernel(
+        ReservationScheduler(), charge_dispatch_overhead=False, syscall_cost_us=0
+    )
+    scheduler = kernel.scheduler
+    for i in range(n_threads):
+        thread = kernel.spawn(f"t{i}", _spin)
+        scheduler.set_reservation(thread, 25, 10_000 + (i % 8) * 5_000)
+    # Run briefly so budgets are partially consumed and the throttled /
+    # ready split is realistic for the measured operations.
+    kernel.run_for(20_000)
+    return kernel
+
+
+@pytest.mark.parametrize("n_threads", [8, 64, 256])
+@pytest.mark.benchmark(group="micro-pick")
+def test_pick_next_cost(benchmark, n_threads):
+    """pick_next must not scan all registered threads."""
+    kernel = _loaded_scheduler(n_threads)
+    scheduler = kernel.scheduler
+    clock = {"now": kernel.now}
+
+    def pick():
+        clock["now"] += 1_000
+        return scheduler.pick_next(clock["now"])
+
+    benchmark(pick)
+
+
+@pytest.mark.parametrize("n_threads", [8, 64, 256])
+@pytest.mark.benchmark(group="micro-charge")
+def test_charge_cost(benchmark, n_threads):
+    """charge touches only the charged thread's reservation."""
+    kernel = _loaded_scheduler(n_threads)
+    scheduler = kernel.scheduler
+    thread = kernel.threads[0]
+    clock = {"now": kernel.now}
+
+    def charge():
+        clock["now"] += 100
+        scheduler.charge(thread, 10, clock["now"])
+
+    benchmark(charge)
+
+
+@pytest.mark.parametrize("n_threads", [8, 64, 256])
+@pytest.mark.benchmark(group="micro-wakeup")
+def test_next_wakeup_cost(benchmark, n_threads):
+    """next_wakeup answers from the replenishment heap, not a scan."""
+    kernel = _loaded_scheduler(n_threads)
+    scheduler = kernel.scheduler
+    now = kernel.now
+
+    def wakeup():
+        return scheduler.next_wakeup(now)
+
+    benchmark(wakeup)

@@ -1,0 +1,370 @@
+"""Macro performance benchmarks (``python -m repro bench``).
+
+The paper's pitch is that proportion/period scheduling has *very low
+overhead*; the simulator must therefore be fast enough that the
+scheduling substrate — not Python bookkeeping — dominates what we can
+simulate.  This module defines a small registry of macro scenarios
+(webserver, SMP web farm, many-hog overload, pulse pipeline), times
+each one with min-of-K repeats, and reports **simulated microseconds
+per wall-clock second** — the throughput figure every performance PR
+must move.
+
+``run_bench`` writes a schema-versioned artifact (``BENCH_kernel.json``
+by default) so the repository carries a perf trajectory: compare the
+committed baseline against a fresh run to see whether the hot path got
+faster or slower.  Wall-clock numbers are machine-dependent; the
+artifact records the interpreter and platform next to the figures so
+cross-machine comparisons are not made blindly.
+
+Scenario builders must be deterministic: they configure fixed seeds and
+fixed loads so that repeated runs execute the identical event sequence
+and only the wall-clock measurement varies.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro._version import __version__
+
+#: Version of the artifact layout written by :func:`bench_to_dict`.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default artifact filename (tracked in the repository root).
+DEFAULT_ARTIFACT = "BENCH_kernel.json"
+
+#: Default artifact filename for ``--quick`` runs: quick-mode numbers
+#: must not silently clobber the tracked full-run baseline.
+QUICK_ARTIFACT = "BENCH_kernel.quick.json"
+
+
+class BenchError(Exception):
+    """A benchmark scenario failed to build or run."""
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One registered macro benchmark.
+
+    ``build`` returns a zero-argument *run* callable; everything
+    expensive to set up happens inside ``build`` so the timed section
+    measures only the simulation itself.  The run callable returns the
+    kernel so the runner can report dispatch counts.
+    """
+
+    name: str
+    description: str
+    sim_us: int
+    quick_sim_us: int
+    build: Callable[[int], Callable[[], object]]
+    tags: tuple[str, ...] = ()
+
+
+#: Name -> scenario, in registration order.
+BENCH_REGISTRY: dict[str, BenchScenario] = {}
+
+
+def bench_scenario(
+    name: str,
+    *,
+    description: str,
+    sim_us: int,
+    quick_sim_us: int,
+    tags: tuple[str, ...] = (),
+) -> Callable[[Callable[[int], Callable[[], object]]], Callable]:
+    """Register the decorated builder as a bench scenario."""
+
+    def decorate(build: Callable[[int], Callable[[], object]]) -> Callable:
+        if name in BENCH_REGISTRY:
+            raise BenchError(f"bench scenario {name!r} is already registered")
+        BENCH_REGISTRY[name] = BenchScenario(
+            name=name,
+            description=description,
+            sim_us=sim_us,
+            quick_sim_us=quick_sim_us,
+            build=build,
+            tags=tags,
+        )
+        return build
+
+    return decorate
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+@bench_scenario(
+    name="webserver",
+    description="Single web server + competing hog under the controller",
+    sim_us=2_000_000,
+    quick_sim_us=250_000,
+    tags=("uniprocessor", "controller"),
+)
+def _build_webserver(sim_us: int) -> Callable[[], object]:
+    from repro.system import build_real_rate_system
+    from repro.workloads.cpu_hog import CpuHog
+    from repro.workloads.webserver import WebServer
+
+    system = build_real_rate_system()
+    WebServer.attach(system, requests_per_second=300.0, service_cpu_us=1_200,
+                     seed=1)
+    CpuHog.attach(system, burst_us=4_000, seed=2)
+
+    def run() -> object:
+        system.run_for(sim_us)
+        return system.kernel
+
+    return run
+
+
+@bench_scenario(
+    name="webfarm",
+    description="4-CPU web farm (8 servers) with SMP dispatch rounds",
+    sim_us=1_000_000,
+    quick_sim_us=200_000,
+    tags=("smp", "controller"),
+)
+def _build_webfarm(sim_us: int) -> Callable[[], object]:
+    from repro.system import build_real_rate_system
+    from repro.workloads.webfarm import WebFarm
+
+    system = build_real_rate_system(n_cpus=4)
+    WebFarm.attach(system, n_servers=8, requests_per_second=200.0,
+                   service_cpu_us=1_500, seed=3)
+
+    def run() -> object:
+        system.run_for(sim_us)
+        return system.kernel
+
+    return run
+
+
+@bench_scenario(
+    name="overload64",
+    description="64 over-committed reservations on one CPU (dispatch hot path)",
+    sim_us=1_000_000,
+    quick_sim_us=100_000,
+    tags=("uniprocessor", "overload", "scheduler"),
+)
+def _build_overload64(sim_us: int) -> Callable[[], object]:
+    """The scheduler-substrate stress the tentpole optimises.
+
+    64 always-runnable reservation threads whose proportions total well
+    over one CPU, so every dispatch exercises rate-monotonic ordering,
+    budget exhaustion, throttling and replenishment — with no adaptive
+    controller in the loop, the wall clock measures the dispatcher
+    itself.
+    """
+    from repro.sched.rbs import ReservationScheduler
+    from repro.sim.kernel import Kernel
+    from repro.sim.requests import Compute
+
+    scheduler = ReservationScheduler()
+    kernel = Kernel(scheduler)
+
+    def spin(env):
+        while True:
+            yield Compute(3_000)
+
+    for i in range(64):
+        thread = kernel.spawn(f"hog{i}", spin)
+        # Varied periods exercise the rate-monotonic order; 25 ppt each
+        # totals 1600 ppt against a 1000 ppt CPU (permanent overload).
+        scheduler.set_reservation(thread, 25, 10_000 + (i % 8) * 5_000)
+
+    def run() -> object:
+        kernel.run_for(sim_us)
+        return kernel
+
+    return run
+
+
+@bench_scenario(
+    name="overload64_controller",
+    description="64 miscellaneous CPU hogs under the adaptive controller",
+    sim_us=1_000_000,
+    quick_sim_us=100_000,
+    tags=("uniprocessor", "overload", "controller"),
+)
+def _build_overload64_controller(sim_us: int) -> Callable[[], object]:
+    from repro.system import build_real_rate_system
+    from repro.workloads.cpu_hog import CpuHog
+
+    system = build_real_rate_system()
+    for i in range(64):
+        CpuHog.attach(system, name=f"hog{i}", burst_us=3_000, seed=100 + i)
+
+    def run() -> object:
+        system.run_for(sim_us)
+        return system.kernel
+
+    return run
+
+
+@bench_scenario(
+    name="pipeline",
+    description="Figure 6 pulse pipeline (producer/consumer real-rate)",
+    sim_us=2_000_000,
+    quick_sim_us=250_000,
+    tags=("uniprocessor", "real-rate"),
+)
+def _build_pipeline(sim_us: int) -> Callable[[], object]:
+    from repro.system import build_real_rate_system
+    from repro.workloads.pulse import PulseParameters, PulsePipeline, PulseSchedule
+
+    system = build_real_rate_system()
+    params = PulseParameters()
+    schedule = PulseSchedule.paper_figure6(params.base_rate_bytes_per_cpu_us)
+    PulsePipeline.attach(system, schedule=schedule, params=params)
+
+    def run() -> object:
+        system.run_for(sim_us)
+        return system.kernel
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+@dataclass
+class BenchResult:
+    """Timing of one scenario: min-of-``repeats`` wall seconds."""
+
+    name: str
+    description: str
+    sim_us: int
+    repeats: int
+    wall_s: list[float] = field(default_factory=list)
+    dispatches: int = 0
+    n_threads: int = 0
+
+    @property
+    def wall_s_min(self) -> float:
+        return min(self.wall_s)
+
+    @property
+    def sim_us_per_wall_s(self) -> float:
+        """Simulated microseconds advanced per wall-clock second."""
+        best = self.wall_s_min
+        if best <= 0:
+            return float("inf")
+        return self.sim_us / best
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "sim_us": self.sim_us,
+            "repeats": self.repeats,
+            "wall_s": [round(w, 6) for w in self.wall_s],
+            "wall_s_min": round(self.wall_s_min, 6),
+            "sim_us_per_wall_s": round(self.sim_us_per_wall_s, 1),
+            "dispatches": self.dispatches,
+            "n_threads": self.n_threads,
+        }
+
+
+def run_scenario(
+    scenario: BenchScenario, *, quick: bool = False, repeats: int = 3
+) -> BenchResult:
+    """Time ``scenario``: fresh build per repeat, wall-clock the run."""
+    if repeats < 1:
+        raise BenchError(f"repeats must be >= 1, got {repeats}")
+    sim_us = scenario.quick_sim_us if quick else scenario.sim_us
+    result = BenchResult(
+        name=scenario.name,
+        description=scenario.description,
+        sim_us=sim_us,
+        repeats=repeats,
+    )
+    for _ in range(repeats):
+        run = scenario.build(sim_us)
+        start = time.perf_counter()
+        kernel = run()
+        result.wall_s.append(time.perf_counter() - start)
+        result.dispatches = getattr(kernel, "dispatch_count", 0)
+        result.n_threads = len(getattr(kernel, "threads", ()))
+    return result
+
+
+def run_bench(
+    names: Optional[list[str]] = None,
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+) -> list[BenchResult]:
+    """Run the named scenarios (default: all registered, in order)."""
+    if names:
+        unknown = [n for n in names if n not in BENCH_REGISTRY]
+        if unknown:
+            raise BenchError(
+                f"unknown bench scenario(s) {unknown}; "
+                f"known: {sorted(BENCH_REGISTRY)}"
+            )
+        scenarios = [BENCH_REGISTRY[n] for n in names]
+    else:
+        scenarios = list(BENCH_REGISTRY.values())
+    return [run_scenario(s, quick=quick, repeats=repeats) for s in scenarios]
+
+
+def bench_to_dict(
+    results: list[BenchResult], *, quick: bool = False, repeats: int = 3
+) -> dict:
+    """The schema-versioned artifact structure for ``BENCH_kernel.json``."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "repro_version": __version__,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "quick": quick,
+        "repeats": repeats,
+        "scenarios": [r.to_dict() for r in results],
+    }
+
+
+def bench_to_json(
+    results: list[BenchResult], *, quick: bool = False, repeats: int = 3
+) -> str:
+    return json.dumps(
+        bench_to_dict(results, quick=quick, repeats=repeats), indent=2
+    )
+
+
+def format_bench_table(results: list[BenchResult]) -> str:
+    """Human-readable summary printed by the CLI."""
+    width = max([len("scenario")] + [len(r.name) for r in results])
+    header = (
+        f"{'scenario':<{width}} {'sim_us':>10} {'wall_s(min)':>12} "
+        f"{'sim_us/wall_s':>14} {'dispatches':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.name:<{width}} {r.sim_us:>10,} {r.wall_s_min:>12.4f} "
+            f"{r.sim_us_per_wall_s:>14,.0f} {r.dispatches:>11,}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BENCH_REGISTRY",
+    "BENCH_SCHEMA_VERSION",
+    "BenchError",
+    "BenchResult",
+    "BenchScenario",
+    "DEFAULT_ARTIFACT",
+    "QUICK_ARTIFACT",
+    "bench_scenario",
+    "bench_to_dict",
+    "bench_to_json",
+    "format_bench_table",
+    "run_bench",
+    "run_scenario",
+]

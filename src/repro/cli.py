@@ -18,6 +18,16 @@ separating elements of a list-valued point), fans the points out over
 ``--jobs`` worker processes and merges everything into a single
 schema-versioned JSON artifact.  ``--json -`` writes any artifact to
 stdout.
+
+``bench`` times the registered macro scenarios (see
+:mod:`repro.bench`) with min-of-K repeats and reports simulated
+microseconds per wall-clock second; ``--json`` (optionally with a
+path; default ``BENCH_kernel.json``, or ``BENCH_kernel.quick.json``
+under ``--quick`` so smoke runs never clobber the tracked baseline)
+writes the schema-versioned perf artifact::
+
+    python -m repro bench --quick --json
+    python -m repro bench overload64 --repeats 5 --json -
 """
 
 from __future__ import annotations
@@ -28,6 +38,15 @@ from typing import Optional, Sequence
 
 import repro.experiments  # noqa: F401 — importing populates the registry
 from repro._version import __version__
+from repro.bench import (
+    BENCH_REGISTRY,
+    DEFAULT_ARTIFACT,
+    QUICK_ARTIFACT,
+    BenchError,
+    bench_to_json,
+    format_bench_table,
+    run_bench,
+)
 from repro.experiments.registry import (
     REGISTRY,
     ExperimentSpec,
@@ -161,6 +180,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list:
+        width = max(len(name) for name in BENCH_REGISTRY)
+        for scenario in BENCH_REGISTRY.values():
+            print(f"{scenario.name.ljust(width)}  {scenario.description}")
+        return 0
+    if args.json in BENCH_REGISTRY:
+        # ``bench --json overload64`` parses the scenario name as the
+        # output path (--json takes an optional value); catch the
+        # footgun instead of silently benchmarking everything.
+        raise BenchError(
+            f"--json consumed the scenario name {args.json!r} as its output "
+            f"path; put scenario names before --json, or use "
+            f"--json=PATH"
+        )
+    json_path = args.json
+    if args.quick and json_path == DEFAULT_ARTIFACT:
+        # ``--quick --json`` (bare, or naming the default path — argparse
+        # cannot tell the two apart): quick numbers must not overwrite
+        # the tracked full-run baseline, so redirect and say so.
+        json_path = QUICK_ARTIFACT
+        print(
+            f"--quick: writing {QUICK_ARTIFACT} "
+            f"(tracked {DEFAULT_ARTIFACT} left untouched)"
+        )
+    results = run_bench(
+        args.scenario or None, quick=args.quick, repeats=args.repeats
+    )
+    if json_path != "-":
+        print(format_bench_table(results))
+    if json_path is not None:
+        _write_artifact(
+            bench_to_json(results, quick=args.quick, repeats=args.repeats),
+            json_path,
+        )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser assembly
 # ----------------------------------------------------------------------
@@ -223,6 +280,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.set_defaults(handler=_cmd_sweep)
 
+    p_bench = sub.add_parser(
+        "bench", help="time the macro perf scenarios (repro.bench)"
+    )
+    p_bench.add_argument(
+        "scenario", nargs="*",
+        help="scenario name(s); default: all registered scenarios",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="enumerate bench scenarios"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="short simulated durations (CI smoke mode)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="wall-clock repeats per scenario; min is reported (default 3)",
+    )
+    p_bench.add_argument(
+        "--json", metavar="PATH", nargs="?", const=DEFAULT_ARTIFACT,
+        help=(
+            "write the perf artifact to PATH ('-' for stdout; default "
+            f"{DEFAULT_ARTIFACT}, or {QUICK_ARTIFACT} under --quick so "
+            "quick numbers never clobber the tracked baseline)"
+        ),
+    )
+    p_bench.set_defaults(handler=_cmd_bench)
+
     return parser
 
 
@@ -231,7 +316,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ParameterError, UnknownExperimentError) as error:
+    except (ParameterError, UnknownExperimentError, BenchError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2

@@ -43,7 +43,7 @@ from repro.ipc.registry import SymbioticRegistry
 from repro.monitor.progress import ConstantPressureSource, ProgressSampler
 from repro.monitor.usage import UsageMonitor
 from repro.sched.rbs import ReservationScheduler
-from repro.sim.thread import SimThread
+from repro.sim.thread import SimThread, ThreadState
 
 
 @dataclass
@@ -59,6 +59,9 @@ class AllocationDecision:
     period_us: int
     squished: bool = False
     reclaimed: bool = False
+    #: Saturation direction noted during the decision ("full"/"empty"),
+    #: consumed by the quality-exception check during overload.
+    _saturation: Optional[str] = field(default=None, repr=False, compare=False)
 
     @property
     def granted_fraction(self) -> float:
@@ -214,9 +217,9 @@ class ProportionAllocator:
         self.updates += 1
         self._drop_exited()
 
-        decisions: list[AllocationDecision] = []
-        for state in self._controlled.values():
-            decisions.append(self._decide(state, now, dt))
+        decisions = [
+            self._decide(state, now, dt) for state in self._controlled.values()
+        ]
 
         self._resolve_overload(decisions, now)
 
@@ -274,10 +277,9 @@ class ProportionAllocator:
             pressure_raw = sample.raw
             fill_level = None
 
-        usage = self.usage_monitor.sample(thread, now, state.current_ppt)
-        estimate = state.estimator.estimate(
-            pressure_raw, usage, state.current_ppt, dt
-        )
+        current_ppt = state.current_ppt
+        usage = self.usage_monitor.sample(thread, now, current_ppt)
+        estimate = state.estimator.estimate(pressure_raw, usage, current_ppt, dt)
         period = self._period_for(state, thread_class, fill_level)
         desired_ppt = estimate.desired_ppt
         if spec.interactive:
@@ -313,7 +315,7 @@ class ProportionAllocator:
             behind = max(sample.per_channel.values())
             if behind >= 0.45 and (sample.saturated_full or sample.saturated_empty):
                 saturation = "full" if sample.saturated_full else "empty"
-                decision._saturation = saturation  # type: ignore[attr-defined]
+                decision._saturation = saturation
         return decision
 
     def _representative_fill(self, state: _ControlledThread) -> Optional[float]:
@@ -367,18 +369,23 @@ class ProportionAllocator:
         if total_desired <= threshold:
             return
 
-        protected = sum(
-            d.desired_ppt for d in decisions if not d.thread_class.is_squishable
-        )
+        # Single pass over the decisions (this runs on every tick while
+        # the system is overloaded).  Squishable == real-rate or
+        # miscellaneous, so the three buckets partition the classes.
+        protected = 0
+        real_rate: list[AllocationDecision] = []
+        misc: list[AllocationDecision] = []
+        real_rate_total = 0
+        for d in decisions:
+            thread_class = d.thread_class
+            if thread_class is ThreadClass.REAL_RATE:
+                real_rate.append(d)
+                real_rate_total += d.desired_ppt
+            elif thread_class is ThreadClass.MISCELLANEOUS:
+                misc.append(d)
+            else:
+                protected += d.desired_ppt
         available = max(0, threshold - protected)
-        real_rate = [
-            d for d in decisions if d.thread_class is ThreadClass.REAL_RATE
-        ]
-        misc = [
-            d for d in decisions if d.thread_class is ThreadClass.MISCELLANEOUS
-        ]
-
-        real_rate_total = sum(d.desired_ppt for d in real_rate)
         if real_rate_total > available:
             self._apply_squish(real_rate, available, now)
             misc_available = 0
@@ -411,7 +418,7 @@ class ProportionAllocator:
                 self._maybe_quality_exception(decision, now)
 
     def _maybe_quality_exception(self, decision: AllocationDecision, now: int) -> None:
-        saturation = getattr(decision, "_saturation", None)
+        saturation = decision._saturation
         if saturation is None:
             return
         exception = QualityException(
@@ -443,7 +450,13 @@ class ProportionAllocator:
         state.current_period_us = period_us
 
     def _drop_exited(self) -> None:
-        gone = [tid for tid, s in self._controlled.items() if not s.thread.state.is_live]
+        # Inline the is_live property: this runs over every controlled
+        # thread once per controller tick.
+        exited = ThreadState.EXITED
+        gone = [
+            tid for tid, s in self._controlled.items()
+            if s.thread.state is exited
+        ]
         for tid in gone:
             state = self._controlled.pop(tid)
             self.usage_monitor.forget(state.thread)

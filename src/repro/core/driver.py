@@ -102,6 +102,10 @@ class ControllerDriver:
         self.measured_wall_ns_total = 0
         self.last_decisions: list[AllocationDecision] = []
         self._overhead_remainder = 0.0
+        #: tid -> [alloc series, pressure series or None, pressure
+        #: label]; resolves the label f-strings and the tracer's name
+        #: lookup once per thread instead of twice per tick.
+        self._trace_series: dict[int, list] = {}
         self._periodic: PeriodicEvent = kernel.add_periodic(
             self.period_us, self._tick, start_us=start_us, label="controller"
         )
@@ -131,16 +135,26 @@ class ControllerDriver:
 
         if self.trace_allocations:
             tracer = self.kernel.tracer
+            cache = self._trace_series
             for decision in decisions:
-                tracer.record(
-                    f"alloc:{decision.thread.name}", now, decision.granted_ppt
-                )
+                thread = decision.thread
+                entry = cache.get(thread.tid)
+                if entry is None:
+                    # The pressure series stays uncreated until the
+                    # first real sample, exactly as when it was created
+                    # through Tracer.record — threads that never report
+                    # a pressure must not leave an empty series behind.
+                    entry = cache[thread.tid] = [
+                        tracer.series(f"alloc:{thread.name}"),
+                        None,
+                        f"pressure:{thread.name}",
+                    ]
+                entry[0].append(now, decision.granted_ppt)
                 if decision.cumulative_pressure is not None:
-                    tracer.record(
-                        f"pressure:{decision.thread.name}",
-                        now,
-                        decision.cumulative_pressure,
-                    )
+                    pressure_series = entry[1]
+                    if pressure_series is None:
+                        pressure_series = entry[1] = tracer.series(entry[2])
+                    pressure_series.append(now, decision.cumulative_pressure)
             # Aggregate grant, for eyeballing total load against the
             # kernel's capacity of n_cpus * PROPORTION_SCALE.
             tracer.record(

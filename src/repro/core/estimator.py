@@ -22,16 +22,19 @@ property.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.core.config import PROPORTION_SCALE, ControllerConfig
 from repro.monitor.usage import UsageSample
 from repro.swift.pid import PIDController
 
 
-@dataclass(frozen=True)
-class EstimateResult:
-    """Outcome of one estimation step for one thread."""
+class EstimateResult(NamedTuple):
+    """Outcome of one estimation step for one thread.
+
+    A named tuple: one result is constructed per controlled thread per
+    controller tick, so creation cost sits on the controller hot path.
+    """
 
     desired_ppt: int
     cumulative_pressure: float
@@ -123,13 +126,17 @@ class ProportionEstimator:
 
     def _too_generous(self, usage: UsageSample, current_ppt: int) -> bool:
         """Whether the previous allocation overestimated the real need."""
-        if usage.allocated_us <= 0 or usage.interval_us <= 0:
+        used_us, interval_us, allocated_us = usage
+        if allocated_us <= 0 or interval_us <= 0:
             return False
-        ratio = min(2.0, usage.used_us / usage.allocated_us)
+        ratio = min(2.0, used_us / allocated_us)
         alpha = self.USAGE_EMA_ALPHA
-        self._usage_ratio_ema = alpha * ratio + (1.0 - alpha) * self._usage_ratio_ema
+        beta = 1.0 - alpha
+        self._usage_ratio_ema = alpha * ratio + beta * self._usage_ratio_ema
+        # interval_us > 0 was checked above, so this is exactly
+        # usage.used_fraction without the property's guard branch.
         self._used_fraction_ema = (
-            alpha * usage.used_fraction + (1.0 - alpha) * self._used_fraction_ema
+            alpha * (used_us / interval_us) + beta * self._used_fraction_ema
         )
         if current_ppt <= self.config.min_proportion_ppt:
             return False

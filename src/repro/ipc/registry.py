@@ -44,6 +44,10 @@ class SymbioticRegistry:
     def __init__(self) -> None:
         self._linkages: list[Linkage] = []
         self._channels: dict[str, Channel] = {}
+        #: tid -> that thread's linkages, in registration order.  The
+        #: controller queries every controlled thread once per tick, so
+        #: these lookups must not scan the global linkage list.
+        self._by_thread: dict[int, list[Linkage]] = {}
 
     # ------------------------------------------------------------------
     # registration (the meta-interface system call)
@@ -54,8 +58,9 @@ class SymbioticRegistry:
         Registering the same association twice is an error — it would
         double-count the queue's pressure in the controller.
         """
-        for linkage in self._linkages:
-            if linkage.thread == thread and linkage.channel is channel:
+        own = self._by_thread.get(thread.tid, ())
+        for linkage in own:
+            if linkage.channel is channel:
                 raise ChannelError(
                     f"thread {thread.name!r} is already registered on channel "
                     f"{channel.name!r} as {linkage.role.value}"
@@ -66,6 +71,7 @@ class SymbioticRegistry:
             )
         linkage = Linkage(thread=thread, channel=channel, role=role)
         self._linkages.append(linkage)
+        self._by_thread.setdefault(thread.tid, []).append(linkage)
         self._channels[channel.name] = channel
         return linkage
 
@@ -85,12 +91,19 @@ class SymbioticRegistry:
         """Drop all linkages for ``thread`` (e.g. on exit); returns count."""
         before = len(self._linkages)
         self._linkages = [l for l in self._linkages if l.thread != thread]
+        self._by_thread.pop(thread.tid, None)
         return before - len(self._linkages)
 
     def unregister_channel(self, channel: Channel) -> int:
         """Drop all linkages involving ``channel``; returns count removed."""
         before = len(self._linkages)
         self._linkages = [l for l in self._linkages if l.channel is not channel]
+        for tid, own in list(self._by_thread.items()):
+            kept = [l for l in own if l.channel is not channel]
+            if not kept:
+                del self._by_thread[tid]
+            elif len(kept) != len(own):
+                self._by_thread[tid] = kept
         self._channels.pop(channel.name, None)
         return before - len(self._linkages)
 
@@ -98,16 +111,16 @@ class SymbioticRegistry:
     # queries used by the controller's monitors
     # ------------------------------------------------------------------
     def linkages_for(self, thread: SimThread) -> list[Linkage]:
-        """All linkages registered for ``thread``."""
-        return [l for l in self._linkages if l.thread == thread]
+        """All linkages registered for ``thread`` (registration order)."""
+        return list(self._by_thread.get(thread.tid, ()))
 
     def linkages_on(self, channel: Channel) -> list[Linkage]:
         """All linkages registered on ``channel``."""
         return [l for l in self._linkages if l.channel is channel]
 
     def has_progress_metric(self, thread: SimThread) -> bool:
-        """Whether ``thread`` has any registered progress metric."""
-        return any(l.thread == thread for l in self._linkages)
+        """Whether ``thread`` has any registered progress metric (O(1))."""
+        return bool(self._by_thread.get(thread.tid))
 
     def channels(self) -> list[Channel]:
         """All channels with at least one registration."""

@@ -93,10 +93,14 @@ class ConstantPressureSource:
                 f"miscellaneous pressure must be positive, got {pressure}"
             )
         self.pressure = pressure
+        # The sample never varies, and PressureSample is frozen: hand
+        # out one shared instance instead of building one per thread
+        # per controller tick.
+        self._sample = PressureSample(raw=pressure, per_channel={})
 
     def sample(self) -> PressureSample:
         """Return the constant pressure as a sample."""
-        return PressureSample(raw=self.pressure, per_channel={})
+        return self._sample
 
 
 class ProgressSampler:

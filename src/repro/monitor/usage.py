@@ -19,15 +19,18 @@ controller-specific counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple
 
 from repro.sim.thread import SimThread
 
 
-@dataclass(frozen=True)
-class UsageSample:
-    """CPU usage of one thread over one controller interval."""
+class UsageSample(NamedTuple):
+    """CPU usage of one thread over one controller interval.
+
+    A named tuple rather than a dataclass: one sample is built per
+    controlled thread per controller tick, making construction cost
+    part of the controller's hot path.
+    """
 
     used_us: int
     interval_us: int
@@ -60,13 +63,13 @@ class UsageMonitor:
     """Tracks per-interval CPU usage of controlled threads."""
 
     def __init__(self) -> None:
-        self._last_total_us: dict[int, int] = {}
-        self._last_sample_time: dict[int, int] = {}
+        #: tid -> (lifetime CPU at last sample, time of last sample);
+        #: one dict so each sample costs a single lookup + store.
+        self._last: dict[int, tuple[int, int]] = {}
 
     def forget(self, thread: SimThread) -> None:
         """Drop state for a thread (on deregistration or exit)."""
-        self._last_total_us.pop(thread.tid, None)
-        self._last_sample_time.pop(thread.tid, None)
+        self._last.pop(thread.tid, None)
 
     def sample(
         self, thread: SimThread, now: int, allocated_ppt: int
@@ -78,12 +81,10 @@ class UsageMonitor:
         allocated-microseconds figure for direct comparison.
         """
         total = thread.accounting.total_us
-        previous_total = self._last_total_us.get(thread.tid, total)
-        previous_time = self._last_sample_time.get(thread.tid, now)
+        previous_total, previous_time = self._last.get(thread.tid, (total, now))
         used = max(0, total - previous_total)
         interval = max(0, now - previous_time)
-        self._last_total_us[thread.tid] = total
-        self._last_sample_time[thread.tid] = now
+        self._last[thread.tid] = (total, now)
         allocated = interval * allocated_ppt // 1000
         return UsageSample(used_us=used, interval_us=interval, allocated_us=allocated)
 

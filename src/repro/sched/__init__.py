@@ -22,7 +22,7 @@ by default, static pinning as an alternative) that maps runnable
 threads to CPUs before the per-CPU picks are made.
 """
 
-from repro.sched.base import Scheduler
+from repro.sched.base import LazyMinHeap, RunQueue, Scheduler
 from repro.sched.goodness import LinuxGoodnessScheduler
 from repro.sched.lottery import LotteryScheduler
 from repro.sched.placement import (
@@ -36,6 +36,7 @@ from repro.sched.round_robin import RoundRobinScheduler
 
 __all__ = [
     "FixedPriorityScheduler",
+    "LazyMinHeap",
     "LeastLoadedPlacement",
     "LinuxGoodnessScheduler",
     "LotteryScheduler",
@@ -44,5 +45,6 @@ __all__ = [
     "Reservation",
     "ReservationScheduler",
     "RoundRobinScheduler",
+    "RunQueue",
     "Scheduler",
 ]

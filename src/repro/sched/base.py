@@ -1,4 +1,4 @@
-"""Scheduler interface.
+"""Scheduler interface and the shared incremental run-queue layer.
 
 A scheduler is a pure policy object: the kernel tells it about thread
 lifecycle events (ready, block, yield, preempt, exit) and asks it two
@@ -17,12 +17,55 @@ uniprocessor one, restricted to the threads placed on that CPU
 (:meth:`Scheduler.dispatch_candidates`).  With ``cpu=None`` (the
 single-CPU kernel's call) every code path reduces bit-for-bit to the
 original uniprocessor behaviour.
+
+The run-queue layer
+-------------------
+Dispatch happens once per simulated millisecond, so anything O(n) in
+the dispatcher caps how large a scenario can be simulated.  The
+:class:`RunQueue` and :class:`LazyMinHeap` structures below let
+policies go incremental without changing any observable ordering:
+
+* **tid-indexed membership** — :meth:`Scheduler.add_thread` /
+  :meth:`Scheduler.remove_thread` are O(1) dict operations instead of
+  list scans, while :meth:`Scheduler.threads` still returns threads in
+  exact registration order (insertion-ordered dict).
+* **ready hints** — the run queue tracks which members are not known
+  to be blocked (maintained from the kernel's ready/block/yield/
+  preempt notifications).  Candidate lists are built from this small
+  set, restored to registration order via each thread's registration
+  sequence number, and every read re-checks ``thread.state`` so a
+  stale hint can widen the scan but never change a pick.
+* **lazily-invalidated heaps** — :class:`LazyMinHeap` keys entries by
+  tid and invalidates in O(1); stale entries are discarded when they
+  surface at the top.  The reservation scheduler keeps its
+  rate-monotonic ready order in one (keyed
+  ``(period_us, -proportion_ppt, tid)`` — a total order, because tids
+  are unique, so the heap minimum is exactly the head of the sort it
+  replaces) and its replenishment schedule in another (keyed
+  ``(period_end, tid)``).
+
+Determinism-preserving invalidation scheme
+------------------------------------------
+The structures are *hints*; correctness never depends on their
+freshness, only on the invariant that a thread eligible for dispatch
+is reachable through at least one of them.  All mutations funnel
+through the owning scheduler's transition points (add/remove,
+ready/block, charge, reservation changes), which enqueue the thread
+for *pick-time* re-examination rather than reclassifying it eagerly:
+period windows are only rolled forward at the same virtual times the
+scan-based implementation rolled them (pick, charge, refresh), so
+deadline-miss accounting and pick order stay bit-identical to the
+O(n)-scan code this replaces.  Subclasses overriding the lifecycle
+hooks (:meth:`Scheduler.on_ready`, :meth:`Scheduler.on_block`,
+:meth:`Scheduler.on_yield`, :meth:`Scheduler.on_preempt`) must call
+``super()`` so the shared hints stay maintained.
 """
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.sched.placement import LeastLoadedPlacement, PlacementPolicy
 from repro.sim.errors import SchedulerError
@@ -31,6 +74,159 @@ from repro.sim.thread import SimThread, ThreadState
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ipc.mutex import Mutex
     from repro.sim.kernel import Kernel
+
+
+class LazyMinHeap:
+    """A min-heap of per-thread entries with O(1) invalidation.
+
+    Entries are tuples whose *last* element is the owning thread's tid;
+    the heap keeps at most one *live* entry per tid (``push`` replaces,
+    ``discard`` invalidates).  Dead entries stay in the underlying list
+    and are skipped when they reach the top, so every operation is
+    O(log n) amortised.
+    """
+
+    __slots__ = ("_heap", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple] = []
+        self._live: dict[int, tuple] = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._live
+
+    #: Compact when the backing list holds this many times more
+    #: entries than are live (and is past the size floor below) —
+    #: bounds memory under sustained push-replacement, e.g. a
+    #: controller re-keying every thread every tick.
+    _COMPACT_RATIO = 2
+    _COMPACT_FLOOR = 64
+
+    def push(self, tid: int, entry: tuple) -> None:
+        """Insert ``entry`` for ``tid``, replacing any live entry."""
+        self._live[tid] = entry
+        heap = self._heap
+        heapq.heappush(heap, entry)
+        if (
+            len(heap) > self._COMPACT_FLOOR
+            and len(heap) > self._COMPACT_RATIO * len(self._live)
+        ):
+            # Rebuild from the live entries only.  Pop order is a total
+            # order over the entry tuples (tids are unique), so the
+            # internal arrangement cannot affect any pick sequence.
+            self._heap = list(self._live.values())
+            heapq.heapify(self._heap)
+
+    def discard(self, tid: int) -> None:
+        """Invalidate ``tid``'s live entry (no-op if absent)."""
+        self._live.pop(tid, None)
+
+    def peek(self) -> Optional[tuple]:
+        """The smallest live entry, or ``None``; drops stale tops."""
+        heap = self._heap
+        live = self._live
+        while heap:
+            entry = heap[0]
+            if live.get(entry[-1]) is entry:
+                return entry
+            heapq.heappop(heap)
+        return None
+
+    def pop(self) -> Optional[tuple]:
+        """Remove and return the smallest live entry (``None`` if empty)."""
+        heap = self._heap
+        live = self._live
+        while heap:
+            entry = heapq.heappop(heap)
+            if live.get(entry[-1]) is entry:
+                del live[entry[-1]]
+                return entry
+        return None
+
+    def push_back(self, entries: Iterable[tuple]) -> None:
+        """Re-insert entries previously obtained from :meth:`pop`."""
+        for entry in entries:
+            self._live[entry[-1]] = entry
+            heapq.heappush(self._heap, entry)
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live.clear()
+
+
+class RunQueue:
+    """Tid-indexed thread membership with ready hints.
+
+    Threads are kept in registration order (each gets a monotonically
+    increasing sequence number); the *ready hint* is the subset not
+    known to be blocked.  Hints are advisory: readers re-check
+    ``thread.state``, so a stale hint costs a skipped iteration, never
+    a wrong candidate set.
+    """
+
+    __slots__ = ("_members", "_seq_of", "_next_seq", "_ready")
+
+    def __init__(self) -> None:
+        #: tid -> thread, in registration order.
+        self._members: dict[int, SimThread] = {}
+        #: tid -> registration sequence number.
+        self._seq_of: dict[int, int] = {}
+        self._next_seq = 0
+        #: seq -> thread for members not known to be blocked.
+        self._ready: dict[int, SimThread] = {}
+
+    # -- membership ----------------------------------------------------
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def get(self, tid: int) -> Optional[SimThread]:
+        return self._members.get(tid)
+
+    def add(self, thread: SimThread) -> None:
+        tid = thread.tid
+        self._members[tid] = thread
+        seq = self._next_seq
+        self._next_seq += 1
+        self._seq_of[tid] = seq
+        # New threads start in the ready hint; a NEW/blocked state is
+        # filtered out at read time.
+        self._ready[seq] = thread
+
+    def remove(self, tid: int) -> Optional[SimThread]:
+        thread = self._members.pop(tid, None)
+        seq = self._seq_of.pop(tid, None)
+        if seq is not None:
+            self._ready.pop(seq, None)
+        return thread
+
+    def threads(self) -> list[SimThread]:
+        """All members in registration order."""
+        return list(self._members.values())
+
+    # -- ready hints ---------------------------------------------------
+    def note_ready(self, thread: SimThread) -> None:
+        seq = self._seq_of.get(thread.tid)
+        if seq is not None:
+            self._ready[seq] = thread
+
+    def note_blocked(self, tid: int) -> None:
+        seq = self._seq_of.get(tid)
+        if seq is not None:
+            self._ready.pop(seq, None)
+
+    def ready_in_order(self) -> list[SimThread]:
+        """Hinted-ready members, restored to registration order."""
+        ready = self._ready
+        if len(ready) == len(self._members):
+            # Nothing blocked: membership order is already correct.
+            return list(self._members.values())
+        return [ready[seq] for seq in sorted(ready)]
 
 
 class Scheduler(ABC):
@@ -42,7 +238,7 @@ class Scheduler(ABC):
 
     def __init__(self, *, placement: Optional[PlacementPolicy] = None) -> None:
         self.kernel: Optional["Kernel"] = None
-        self._threads: list[SimThread] = []
+        self._run_queue = RunQueue()
         #: Thread-to-CPU mapping strategy used on multiprocessor kernels.
         self.placement: PlacementPolicy = (
             placement if placement is not None else LeastLoadedPlacement()
@@ -75,25 +271,35 @@ class Scheduler(ABC):
     # thread membership
     # ------------------------------------------------------------------
     def add_thread(self, thread: SimThread) -> None:
-        """Register a new thread with the policy."""
-        if thread in self._threads:
+        """Register a new thread with the policy (O(1))."""
+        if thread.tid in self._run_queue:
             raise SchedulerError(f"thread {thread.name!r} already registered")
-        self._threads.append(thread)
+        self._run_queue.add(thread)
         self.on_add(thread)
 
     def remove_thread(self, thread: SimThread) -> None:
-        """Remove a thread (normally on exit)."""
-        if thread in self._threads:
-            self._threads.remove(thread)
+        """Remove a thread (normally on exit; O(1))."""
+        self._run_queue.remove(thread.tid)
         self.on_remove(thread)
 
     def threads(self) -> list[SimThread]:
         """All threads currently registered with this scheduler."""
-        return list(self._threads)
+        return self._run_queue.threads()
+
+    def has_thread(self, thread: SimThread) -> bool:
+        """Whether ``thread`` is registered (O(1))."""
+        return thread.tid in self._run_queue
 
     def runnable_threads(self) -> list[SimThread]:
-        """Registered threads whose state allows dispatch."""
-        return [t for t in self._threads if t.state.is_runnable]
+        """Registered threads whose state allows dispatch.
+
+        Registration order, exactly as the full-membership scan this
+        replaces; built from the ready hints and re-checked against
+        ``thread.state``.
+        """
+        return [
+            t for t in self._run_queue.ready_in_order() if t.state.is_runnable
+        ]
 
     # ------------------------------------------------------------------
     # multiprocessor placement
@@ -145,7 +351,7 @@ class Scheduler(ABC):
             return self.runnable_threads()
         return [
             t
-            for t in self._threads
+            for t in self._run_queue.ready_in_order()
             if t.state is ThreadState.READY and self.eligible_on(t, cpu)
         ]
 
@@ -159,16 +365,20 @@ class Scheduler(ABC):
         """Hook: a thread was removed."""
 
     def on_ready(self, thread: SimThread, now: int) -> None:
-        """Hook: a thread became runnable."""
+        """Hook: a thread became runnable (overrides must call super)."""
+        self._run_queue.note_ready(thread)
 
     def on_block(self, thread: SimThread, now: int) -> None:
-        """Hook: a thread blocked or went to sleep."""
+        """Hook: a thread blocked or slept (overrides must call super)."""
+        self._run_queue.note_blocked(thread.tid)
 
     def on_yield(self, thread: SimThread, now: int) -> None:
-        """Hook: a thread voluntarily gave up the CPU."""
+        """Hook: a thread gave up the CPU (overrides must call super)."""
+        self._run_queue.note_ready(thread)
 
     def on_preempt(self, thread: SimThread, now: int) -> None:
-        """Hook: a thread was preempted at the end of its slice."""
+        """Hook: a thread's slice ended (overrides must call super)."""
+        self._run_queue.note_ready(thread)
 
     def on_dispatch(self, thread: SimThread, now: int) -> None:
         """Hook: a thread was just selected to run."""
@@ -218,4 +428,4 @@ class Scheduler(ABC):
         return self.dispatch_interval_us
 
 
-__all__ = ["Scheduler"]
+__all__ = ["LazyMinHeap", "RunQueue", "Scheduler"]

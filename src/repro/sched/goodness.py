@@ -92,7 +92,7 @@ class LinuxGoodnessScheduler(Scheduler):
 
     def _recharge_all(self) -> None:
         self.recharges += 1
-        for thread in self._threads:
+        for thread in self.threads():
             state = self._state(thread)
             quantum = self._quantum_for(thread)
             state.quantum_us = quantum
@@ -101,16 +101,27 @@ class LinuxGoodnessScheduler(Scheduler):
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
+    def _best_by_goodness(self, runnable: list[SimThread]) -> tuple[SimThread, int]:
+        """One pass: the highest-goodness thread (lowest tid breaks ties)."""
+        best = runnable[0]
+        best_key = (self.goodness(best), -best.tid)
+        for thread in runnable[1:]:
+            key = (self.goodness(thread), -thread.tid)
+            if key > best_key:
+                best = thread
+                best_key = key
+        return best, best_key[0]
+
     def pick_next(self, now: int, cpu: Optional[int] = None) -> Optional[SimThread]:
         runnable = self.dispatch_candidates(cpu)
         if not runnable:
             return None
-        best = max(runnable, key=lambda t: (self.goodness(t), -t.tid))
-        if self.goodness(best) <= 0:
+        best, best_goodness = self._best_by_goodness(runnable)
+        if best_goodness <= 0:
             # Everybody on the run queue has used its quantum: recharge
             # all counters (including sleepers', which accrue carryover).
             self._recharge_all()
-            best = max(runnable, key=lambda t: (self.goodness(t), -t.tid))
+            best, _ = self._best_by_goodness(runnable)
         return best
 
     def time_slice(self, thread: SimThread, now: int) -> int:

@@ -45,12 +45,14 @@ class LotteryScheduler(Scheduler):
         runnable = self.dispatch_candidates(cpu)
         if not runnable:
             return None
-        total = sum(max(1, t.tickets) for t in runnable)
-        winner_ticket = self._rng.randrange(total)
+        # One pass over the tickets; the weights are reused for the
+        # winner walk so each thread's count is read exactly once.
+        weights = [t.tickets if t.tickets > 1 else 1 for t in runnable]
+        winner_ticket = self._rng.randrange(sum(weights))
         self.draws += 1
         upto = 0
-        for thread in runnable:
-            upto += max(1, thread.tickets)
+        for thread, weight in zip(runnable, weights):
+            upto += weight
             if winner_ticket < upto:
                 return thread
         return runnable[-1]  # pragma: no cover - defensive, unreachable

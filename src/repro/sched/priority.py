@@ -70,8 +70,18 @@ class FixedPriorityScheduler(Scheduler):
         runnable = self.dispatch_candidates(cpu)
         if not runnable:
             return None
-        top = max(t.priority for t in runnable)
-        cohort = [t for t in runnable if t.priority == top]
+        # Single pass: track the top priority and its cohort together
+        # (the cohort keeps candidate order, so round-robin among
+        # equal-priority threads is unchanged).
+        top = runnable[0].priority
+        cohort = [runnable[0]]
+        for thread in runnable[1:]:
+            priority = thread.priority
+            if priority > top:
+                top = priority
+                cohort = [thread]
+            elif priority == top:
+                cohort.append(thread)
         self._cursor += 1
         return cohort[self._cursor % len(cohort)]
 

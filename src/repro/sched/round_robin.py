@@ -3,6 +3,12 @@
 The simplest baseline: every runnable thread gets one dispatch interval
 in turn.  Used by unit tests that need a neutral dispatcher and by the
 starvation-comparison benchmarks.
+
+Thread membership and the runnable candidate list come from the shared
+run-queue layer in :mod:`repro.sched.base` (O(1) add/remove, candidates
+built from ready hints instead of scanning every registered thread);
+the cursor arithmetic below is untouched so dispatch order is
+bit-identical to the scan-based implementation.
 """
 
 from __future__ import annotations
@@ -27,8 +33,9 @@ class RoundRobinScheduler(Scheduler):
         runnable = self.dispatch_candidates(cpu)
         if not runnable:
             return None
-        self._cursor += 1
-        return runnable[self._cursor % len(runnable)]
+        cursor = self._cursor + 1
+        self._cursor = cursor
+        return runnable[cursor % len(runnable)]
 
     def time_slice(self, thread: SimThread, now: int) -> int:
         if self._slice_us is not None:

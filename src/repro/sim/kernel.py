@@ -165,6 +165,8 @@ class Kernel:
         self.syscall_cost_us = int(syscall_cost_us)
 
         self.threads: list[SimThread] = []
+        #: Mirror of ``threads`` for O(1) duplicate detection.
+        self._thread_tids: set[int] = set()
         #: Per-CPU run state; aggregates are exposed as properties.
         self.cpu_states: list[CPUState] = [CPUState(i) for i in range(self.n_cpus)]
         self.stolen_controller_us = 0
@@ -175,6 +177,24 @@ class Kernel:
         #: simulates one CPU's slice (None outside rounds).
         self._now_override: Optional[int] = None
         self._finished = False
+        #: Cached per-dispatch overhead; revalidated against the CPU
+        #: model's cost parameters and the dispatch interval, so both
+        #: reassigning ``kernel.cpu`` and mutating the model in place
+        #: invalidate it.
+        self._dispatch_cost_sig: Optional[tuple[int, float, float]] = None
+        self._dispatch_cost_us = 0.0
+        #: Request type -> bound handler; replaces the isinstance chain
+        #: on the hot path.  Subtypes are resolved once and memoised.
+        self._request_handlers: dict[type, Callable[[SimThread, Request], str]] = {
+            Put: self._handle_put,
+            Get: self._handle_get,
+            Sleep: self._handle_sleep,
+            Yield: self._handle_yield,
+            Exit: self._handle_exit,
+            WaitIO: self._handle_wait_io,
+            AcquireMutex: self._handle_acquire,
+            ReleaseMutex: self._handle_release,
+        }
 
         scheduler.attach(self)
 
@@ -230,7 +250,7 @@ class Kernel:
     # ------------------------------------------------------------------
     def add_thread(self, thread: SimThread) -> SimThread:
         """Register ``thread`` with the kernel and the scheduler."""
-        if thread in self.threads:
+        if thread.tid in self._thread_tids:
             raise SimulationError(f"thread {thread.name!r} already added")
         if thread.affinity is not None and thread.affinity >= self.n_cpus:
             raise SimulationError(
@@ -240,6 +260,7 @@ class Kernel:
         env = ThreadEnv(kernel=self, thread=thread)
         thread.bind(env)
         self.threads.append(thread)
+        self._thread_tids.add(thread.tid)
         self.scheduler.add_thread(thread)
         self.scheduler.on_ready(thread, self.now)
         return thread
@@ -312,13 +333,18 @@ class Kernel:
             )
         if self.n_cpus == 1:
             # Uniprocessor fast path: the paper's original loop,
-            # bit-identical to the seed reproduction.
+            # bit-identical to the seed reproduction.  Outside SMP
+            # rounds ``self.now`` is exactly ``clock.now``; reading the
+            # clock directly skips the property dispatch per iteration.
             cpu0 = self.cpu_states[0]
-            while self.now < t_end:
+            clock = self.clock
+            scheduler = self.scheduler
+            while clock.now < t_end:
                 self._fire_due_events()
-                if self.now >= t_end:
+                now = clock.now
+                if now >= t_end:
                     break
-                thread = self.scheduler.pick_next(self.now)
+                thread = scheduler.pick_next(now)
                 if thread is None:
                     if not self._advance_idle(t_end):
                         break
@@ -391,10 +417,12 @@ class Kernel:
     def _dispatch_round(self, t_end: int) -> bool:
         """Run one parallel dispatch window; ``False`` if nothing ran."""
         t0 = self.now
-        self.scheduler.place_threads(t0)
+        scheduler = self.scheduler
+        cpu_states = self.cpu_states
+        scheduler.place_threads(t0)
         picks: list[tuple[CPUState, SimThread]] = []
-        for cpu in self.cpu_states:
-            thread = self.scheduler.pick_next_cpu(cpu.index, t0)
+        for cpu in cpu_states:
+            thread = scheduler.pick_next_cpu(cpu.index, t0)
             if thread is None:
                 continue
             # Claim immediately so higher-numbered CPUs cannot pick the
@@ -409,39 +437,63 @@ class Kernel:
         next_event = self.events.next_time()
         window_cap = t_end if next_event is None else min(next_event, t_end)
         ends: list[int] = []
+        window_end = t0
         for cpu, thread in picks:
             self._now_override = t0
             self._dispatch(cpu, thread, t_end, window_cap=window_cap)
-            ends.append(self._now_override)
+            end = self._now_override
+            ends.append(end)
+            if end > window_end:
+                window_end = end
             self._now_override = None
-        window_end = max(ends)
         if window_end > self.clock.now:
             self.clock.advance_to(window_end)
         # CPUs whose thread finished early idle out the rest of the
         # window (timer-quantised re-dispatch, as on the real hardware);
         # CPUs that picked nothing idle the whole window.
-        busy = {cpu.index for cpu, _ in picks}
         for (cpu, _), end in zip(picks, ends):
             if end < window_end:
                 cpu.idle_us += window_end - end
-        for cpu in self.cpu_states:
-            if cpu.index not in busy:
-                cpu.idle_us += window_end - t0
+        if len(picks) < len(cpu_states):
+            busy = {cpu.index for cpu, _ in picks}
+            span = window_end - t0
+            for cpu in cpu_states:
+                if cpu.index not in busy:
+                    cpu.idle_us += span
         return True
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def _charge_dispatch_overhead(self, cpu: CPUState) -> None:
+    def _charge_dispatch_overhead(self, cpu: CPUState) -> int:
+        """Charge the per-dispatch cost; returns the microseconds ticked.
+
+        The effective cost is a pure function of the dispatch interval
+        and the CPU model's cost parameters, so it is cached and only
+        recomputed when that signature changes (covers both swapping
+        ``kernel.cpu`` and mutating the model's fields in place).
+        """
         if not self.charge_dispatch_overhead:
-            return
-        dispatch_hz = US_PER_SEC / self.dispatch_interval_us
-        cpu.overhead_accumulator += self.cpu.effective_dispatch_cost_us(dispatch_hz)
+            return 0
+        model = self.cpu
+        signature = (
+            self.dispatch_interval_us,
+            model.dispatch_cost_us,
+            model.dispatch_cost_quadratic_us,
+        )
+        if signature != self._dispatch_cost_sig:
+            self._dispatch_cost_us = model.effective_dispatch_cost_us(
+                US_PER_SEC / signature[0]
+            )
+            self._dispatch_cost_sig = signature
+        cpu.overhead_accumulator += self._dispatch_cost_us
         whole = int(cpu.overhead_accumulator)
         if whole > 0:
             cpu.overhead_accumulator -= whole
             self._tick(whole)
             cpu.stolen_dispatch_us += whole
+            return whole
+        return 0
 
     def _dispatch(
         self,
@@ -450,19 +502,26 @@ class Kernel:
         t_end: int,
         window_cap: Optional[int] = None,
     ) -> None:
-        dispatch_start = self.now
+        # ``now`` mirrors self.now locally: only _tick advances time
+        # inside a slice (request handlers set states and schedule
+        # events but never tick), so the mirror stays exact and saves a
+        # property read per loop step.
+        now = self.now
+        dispatch_start = now
         cpu.dispatches += 1
-        self._charge_dispatch_overhead(cpu)
+        now += self._charge_dispatch_overhead(cpu)
 
+        scheduler = self.scheduler
+        accounting = thread.accounting
         thread.state = ThreadState.RUNNING
-        thread.accounting.dispatches += 1
-        thread.accounting.last_run_started = self.now
-        self.scheduler.on_dispatch(thread, self.now)
+        accounting.dispatches += 1
+        accounting.last_run_started = now
+        scheduler.on_dispatch(thread, now)
 
-        slice_us = self.scheduler.time_slice(thread, self.now)
+        slice_us = scheduler.time_slice(thread, now)
         if slice_us <= 0:
             slice_us = self.dispatch_interval_us
-        horizon = min(self.now + slice_us, t_end)
+        horizon = min(now + slice_us, t_end)
         if window_cap is not None:
             # SMP round: the shared window cap already folds in the next
             # pending event (computed once at round start, for symmetry).
@@ -473,8 +532,9 @@ class Kernel:
                 horizon = min(horizon, next_event)
 
         consumed = 0
+        syscall_cost = self.syscall_cost_us
         outcome = _DispatchOutcome.PREEMPTED
-        while self.now < horizon:
+        while now < horizon:
             request = thread.current_request()
             if request is None:
                 request = self._next_request(thread)
@@ -484,9 +544,10 @@ class Kernel:
             if isinstance(request, Compute):
                 remaining = thread.remaining_compute_us
                 if remaining > 0:
-                    step = min(horizon - self.now, remaining)
+                    step = min(horizon - now, remaining)
                     thread.consume_compute(step)
                     self._tick(step)
+                    now += step
                     consumed += step
                 if thread.remaining_compute_us == 0:
                     thread.finish_request()
@@ -494,11 +555,12 @@ class Kernel:
             # Non-compute requests carry a small syscall cost; charging
             # it before handling also guarantees forward progress for
             # threads that never yield a Compute request.
-            if self.syscall_cost_us > 0:
-                step = min(horizon - self.now, self.syscall_cost_us)
+            if syscall_cost > 0:
+                step = min(horizon - now, syscall_cost)
                 self._tick(step)
+                now += step
                 consumed += step
-                if step < self.syscall_cost_us:
+                if step < syscall_cost:
                     # Not enough slice left to pay for the syscall; the
                     # request stays pending for the next dispatch.
                     break
@@ -507,8 +569,8 @@ class Kernel:
                 break
             outcome = _DispatchOutcome.PREEMPTED
 
-        thread.accounting.charge(consumed)
-        self.scheduler.charge(thread, consumed, self.now)
+        accounting.charge(consumed)
+        scheduler.charge(thread, consumed, self.now)
         self._finish_dispatch(thread, outcome)
         if self.dispatch_log is not None:
             self.dispatch_log.append(
@@ -551,27 +613,35 @@ class Kernel:
     # request handling
     # ------------------------------------------------------------------
     def _handle_request(self, thread: SimThread, request: Request) -> str:
-        if isinstance(request, Put):
-            return self._handle_put(thread, request)
-        if isinstance(request, Get):
-            return self._handle_get(thread, request)
-        if isinstance(request, Sleep):
-            return self._handle_sleep(thread, request)
-        if isinstance(request, Yield):
-            thread.finish_request()
-            return _DispatchOutcome.YIELDED
-        if isinstance(request, Exit):
-            self._exit_thread(thread, status=request.status)
-            return _DispatchOutcome.EXITED
-        if isinstance(request, WaitIO):
-            return self._handle_wait_io(thread, request)
-        if isinstance(request, AcquireMutex):
-            return self._handle_acquire(thread, request)
-        if isinstance(request, ReleaseMutex):
-            return self._handle_release(thread, request)
+        handler = self._request_handlers.get(type(request))
+        if handler is None:
+            handler = self._resolve_handler(thread, request)
+        return handler(thread, request)
+
+    def _resolve_handler(
+        self, thread: SimThread, request: Request
+    ) -> Callable[[SimThread, Request], str]:
+        """Slow path: map a request *subtype* to its handler and memoise.
+
+        Walks the registered base types in the same order as the
+        historical isinstance chain, so a request inheriting from two
+        of them resolves identically.
+        """
+        for base_type, handler in list(self._request_handlers.items()):
+            if isinstance(request, base_type):
+                self._request_handlers[type(request)] = handler
+                return handler
         raise ThreadStateError(
             f"{thread.name}: unsupported request type {type(request).__name__}"
         )
+
+    def _handle_yield(self, thread: SimThread, request: Yield) -> str:
+        thread.finish_request()
+        return _DispatchOutcome.YIELDED
+
+    def _handle_exit(self, thread: SimThread, request: Exit) -> str:
+        self._exit_thread(thread, status=request.status)
+        return _DispatchOutcome.EXITED
 
     def _handle_put(self, thread: SimThread, request: Put) -> str:
         channel = request.channel

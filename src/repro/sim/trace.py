@@ -11,16 +11,18 @@ from __future__ import annotations
 
 import hashlib
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, NamedTuple, Optional
 
 from repro.sim.clock import to_seconds
 from repro.sim.events import EventQueue, PeriodicEvent
 
 
-@dataclass
-class TracePoint:
-    """A single sample: virtual time (us) and a float value."""
+class TracePoint(NamedTuple):
+    """A single sample: virtual time (us) and a float value.
+
+    A named tuple because controller tracing appends one per decision
+    per tick — creation cost is on the hot path.
+    """
 
     time_us: int
     value: float
@@ -49,12 +51,13 @@ class TraceSeries:
 
     def append(self, time_us: int, value: float) -> None:
         """Append a sample; time must be non-decreasing."""
-        if self._points and time_us < self._points[-1].time_us:
+        points = self._points
+        if points and time_us < points[-1].time_us:
             raise ValueError(
                 f"series {self.name!r}: sample at {time_us}us is earlier than "
-                f"previous sample at {self._points[-1].time_us}us"
+                f"previous sample at {points[-1].time_us}us"
             )
-        self._points.append(TracePoint(int(time_us), float(value)))
+        points.append(TracePoint(int(time_us), float(value)))
 
     def times(self) -> list[int]:
         """All sample times in microseconds."""
@@ -109,9 +112,10 @@ class Tracer:
 
     def series(self, name: str) -> TraceSeries:
         """Get (creating if needed) the series called ``name``."""
-        if name not in self._series:
-            self._series[name] = TraceSeries(name)
-        return self._series[name]
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TraceSeries(name)
+        return series
 
     def record(self, name: str, time_us: int, value: float) -> None:
         """Append a sample to the series called ``name``."""

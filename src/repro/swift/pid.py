@@ -93,15 +93,52 @@ class PIDController:
         self.steps = 0
 
     def step(self, error: float, dt: float) -> float:
-        """Advance one controller period with the given error sample."""
+        """Advance one controller period with the given error sample.
+
+        The three component updates are inlined (same arithmetic, same
+        order as their ``step`` methods): one estimator steps its PID
+        once per controlled thread per controller tick, so the call
+        overhead of the component objects is measurable.  The objects
+        themselves remain the state holders, keeping ``reset`` and
+        ``preload_integral`` untouched.
+        """
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
-        proportional = self.gains.kp * error
-        integral = self.gains.ki * self._integrator.step(error, dt)
-        derivative_raw = self._differentiator.step(error, dt)
-        if self._derivative_filter is not None:
-            derivative_raw = self._derivative_filter.step(derivative_raw, dt)
-        derivative = self.gains.kd * derivative_raw
+        gains = self.gains
+        proportional = gains.kp * error
+
+        # Integrator.step: accumulate, then anti-windup clamp.
+        integrator = self._integrator
+        value = integrator.value + error * dt
+        limit_high = integrator.limit_high
+        if limit_high is not None and value > limit_high:
+            value = limit_high
+        limit_low = integrator.limit_low
+        if limit_low is not None and value < limit_low:
+            value = limit_low
+        integrator.value = value
+        integral = gains.ki * value
+
+        # Differentiator.step: first difference over dt.
+        differentiator = self._differentiator
+        previous = differentiator._previous
+        if previous is None:
+            derivative_raw = 0.0
+        else:
+            derivative_raw = (error - previous) / dt
+        differentiator._previous = error
+
+        # LowPassFilter.step: single-pole IIR smoothing.
+        lpf = self._derivative_filter
+        if lpf is not None:
+            if not lpf._primed:
+                lpf.value = derivative_raw
+                lpf._primed = True
+            else:
+                alpha = dt / (lpf.time_constant_s + dt)
+                lpf.value += alpha * (derivative_raw - lpf.value)
+            derivative_raw = lpf.value
+        derivative = gains.kd * derivative_raw
 
         output = proportional + integral + derivative
         if self.output_high is not None and output > self.output_high:

@@ -1,0 +1,148 @@
+"""Tests for the perf-benchmark registry and the ``bench`` subcommand."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_REGISTRY,
+    BENCH_SCHEMA_VERSION,
+    BenchError,
+    bench_scenario,
+    bench_to_dict,
+    format_bench_table,
+    run_bench,
+    run_scenario,
+)
+from repro.cli import main
+
+#: A tiny simulated duration so CLI/runner tests stay fast.
+TINY_US = 5_000
+
+
+class TestRegistry:
+    def test_expected_scenarios_registered(self):
+        for name in ("webserver", "webfarm", "overload64",
+                     "overload64_controller", "pipeline"):
+            assert name in BENCH_REGISTRY
+
+    def test_quick_durations_are_shorter(self):
+        for scenario in BENCH_REGISTRY.values():
+            assert 0 < scenario.quick_sim_us < scenario.sim_us
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(BenchError, match="already registered"):
+            bench_scenario(
+                name="overload64", description="dup", sim_us=1, quick_sim_us=1
+            )(lambda sim_us: lambda: None)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(BenchError, match="unknown bench scenario"):
+            run_bench(["nonesuch"])
+
+
+class TestRunner:
+    def test_run_scenario_measures_and_counts(self):
+        scenario = BENCH_REGISTRY["overload64"]
+        result = run_scenario(scenario, quick=True, repeats=2)
+        assert len(result.wall_s) == 2
+        assert result.wall_s_min > 0
+        assert result.sim_us == scenario.quick_sim_us
+        assert result.sim_us_per_wall_s > 0
+        assert result.dispatches > 0
+        assert result.n_threads == 64
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(BenchError, match="repeats"):
+            run_scenario(BENCH_REGISTRY["overload64"], repeats=0)
+
+    def test_artifact_schema(self):
+        results = [run_scenario(BENCH_REGISTRY["overload64"], quick=True,
+                                repeats=1)]
+        artifact = bench_to_dict(results, quick=True, repeats=1)
+        assert artifact["schema_version"] == BENCH_SCHEMA_VERSION
+        assert artifact["kind"] == "bench"
+        assert artifact["quick"] is True
+        (entry,) = artifact["scenarios"]
+        assert entry["name"] == "overload64"
+        assert entry["wall_s_min"] > 0
+        assert entry["sim_us_per_wall_s"] > 0
+        # Everything must survive a JSON round-trip.
+        assert json.loads(json.dumps(artifact)) == artifact
+
+    def test_table_mentions_every_scenario(self):
+        results = [run_scenario(BENCH_REGISTRY["pipeline"], quick=True,
+                                repeats=1)]
+        table = format_bench_table(results)
+        assert "pipeline" in table
+        assert "sim_us/wall_s" in table
+
+
+class TestBenchCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "overload64" in out
+        assert "webfarm" in out
+
+    def test_bench_writes_artifact(self, tmp_path, capsys, monkeypatch):
+        # Shrink the scenario so the CLI test is fast even at --quick.
+        scenario = BENCH_REGISTRY["overload64"]
+        monkeypatch.setitem(
+            BENCH_REGISTRY,
+            "overload64",
+            dataclasses.replace(scenario, quick_sim_us=TINY_US),
+        )
+        out_path = tmp_path / "BENCH_kernel.json"
+        code = main([
+            "bench", "overload64", "--quick", "--repeats", "1",
+            "--json", str(out_path),
+        ])
+        assert code == 0
+        artifact = json.loads(out_path.read_text())
+        assert artifact["schema_version"] == BENCH_SCHEMA_VERSION
+        assert artifact["scenarios"][0]["name"] == "overload64"
+        assert "overload64" in capsys.readouterr().out
+
+    def test_bench_json_stdout(self, capsys, monkeypatch):
+        scenario = BENCH_REGISTRY["pipeline"]
+        monkeypatch.setitem(
+            BENCH_REGISTRY,
+            "pipeline",
+            dataclasses.replace(scenario, quick_sim_us=TINY_US),
+        )
+        assert main(["bench", "pipeline", "--quick", "--repeats", "1",
+                     "--json", "-"]) == 0
+        artifact = json.loads(capsys.readouterr().out)
+        assert artifact["kind"] == "bench"
+
+    def test_unknown_scenario_is_cli_error(self, capsys):
+        assert main(["bench", "nonesuch"]) == 2
+        assert "unknown bench scenario" in capsys.readouterr().err
+
+
+def test_json_flag_swallowing_scenario_name_is_caught(capsys):
+    """`bench --json overload64` must error, not benchmark everything."""
+    assert main(["bench", "--json", "overload64"]) == 2
+    err = capsys.readouterr().err
+    assert "overload64" in err and "--json" in err
+
+
+def test_quick_json_defaults_away_from_tracked_baseline(
+    tmp_path, monkeypatch, capsys
+):
+    """Bare `--quick --json` must not overwrite BENCH_kernel.json."""
+    for name in ("webserver", "webfarm", "overload64",
+                 "overload64_controller", "pipeline"):
+        monkeypatch.setitem(
+            BENCH_REGISTRY,
+            name,
+            dataclasses.replace(BENCH_REGISTRY[name], quick_sim_us=TINY_US),
+        )
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "BENCH_kernel.json").write_text("tracked baseline")
+    assert main(["bench", "--quick", "--repeats", "1", "--json"]) == 0
+    assert (tmp_path / "BENCH_kernel.json").read_text() == "tracked baseline"
+    artifact = json.loads((tmp_path / "BENCH_kernel.quick.json").read_text())
+    assert artifact["quick"] is True

@@ -265,3 +265,22 @@ class TestCircuit:
         assert len(circuit) == 1
         assert "a" in circuit
         assert "b" not in circuit
+
+
+class TestPIDInlineConsistency:
+    def test_step_matches_explicit_component_composition(self):
+        """PIDController.step inlines the component arithmetic for the
+        controller hot path; this pins the fast path to the component
+        classes so the two implementations cannot drift apart."""
+        gains = PIDGains(kp=0.3, ki=0.7, kd=0.01)
+        pid = PIDController(gains, output_low=0.0, output_high=2.0)
+        integrator = Integrator(limit_low=0.0, limit_high=2.0 / gains.ki)
+        differentiator = Differentiator()
+        lpf = LowPassFilter(0.05)  # PIDController's default filter
+        dt = 0.01
+        for error in (0.5, -0.2, 1.3, 0.0, 0.8, -1.0, 0.4, 3.5, -3.5):
+            expected = gains.kp * error + gains.ki * integrator.step(error, dt)
+            expected += gains.kd * lpf.step(differentiator.step(error, dt), dt)
+            expected = min(2.0, max(0.0, expected))
+            assert pid.step(error, dt) == expected
+        assert pid.integral_value == integrator.value
