@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
@@ -41,6 +42,14 @@ DEFAULT_ARTIFACT = "BENCH_kernel.json"
 #: Default artifact filename for ``--quick`` runs: quick-mode numbers
 #: must not silently clobber the tracked full-run baseline.
 QUICK_ARTIFACT = "BENCH_kernel.quick.json"
+
+#: Append-only log of full bench runs (one JSON line per run), so the
+#: repository carries the perf trajectory alongside the code.
+HISTORY_FILE = "BENCH_history.jsonl"
+
+#: Default regression tolerance for ``bench --compare``: fail when a
+#: scenario's throughput drops by more than this fraction.
+DEFAULT_REGRESSION_THRESHOLD = 0.25
 
 
 class BenchError(Exception):
@@ -337,6 +346,166 @@ def bench_to_json(
     )
 
 
+def load_bench_artifact(path: str) -> dict:
+    """Load a bench artifact written by :func:`bench_to_json`."""
+    try:
+        with open(path) as handle:
+            artifact = json.load(handle)
+    except OSError as error:
+        raise BenchError(f"cannot read baseline {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BenchError(f"baseline {path!r} is not valid JSON: {error}") from error
+    if artifact.get("kind") != "bench":
+        raise BenchError(f"baseline {path!r} is not a bench artifact")
+    if artifact.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise BenchError(
+            f"baseline {path!r} has schema version "
+            f"{artifact.get('schema_version')!r}, expected {BENCH_SCHEMA_VERSION}"
+        )
+    return artifact
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """One scenario's fresh throughput against the baseline's."""
+
+    name: str
+    baseline_sim_us_per_wall_s: Optional[float]
+    fresh_sim_us_per_wall_s: float
+    threshold: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Fresh/baseline throughput, or ``None`` without a baseline."""
+        base = self.baseline_sim_us_per_wall_s
+        if base is None or base <= 0:
+            return None
+        return self.fresh_sim_us_per_wall_s / base
+
+    @property
+    def regressed(self) -> bool:
+        """Whether throughput dropped by more than the threshold."""
+        ratio = self.ratio
+        return ratio is not None and ratio < 1.0 - self.threshold
+
+
+def compare_to_baseline(
+    results: list[BenchResult],
+    baseline: dict,
+    *,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> list[BenchComparison]:
+    """Compare fresh results against a loaded baseline artifact.
+
+    Scenarios are matched by name; fresh scenarios absent from the
+    baseline compare against ``None`` (informational, never a
+    regression).  A mismatch in simulated duration (e.g. a quick run
+    against a full baseline) still compares meaningfully because the
+    metric is throughput, not wall time — but the table shows both
+    figures so the reader is not misled.
+    """
+    if not 0 < threshold < 1:
+        raise BenchError(
+            f"regression threshold must be inside (0, 1), got {threshold}"
+        )
+    by_name = {
+        scenario.get("name"): scenario
+        for scenario in baseline.get("scenarios", [])
+    }
+    comparisons = []
+    for result in results:
+        base = by_name.get(result.name)
+        comparisons.append(
+            BenchComparison(
+                name=result.name,
+                baseline_sim_us_per_wall_s=(
+                    base.get("sim_us_per_wall_s") if base else None
+                ),
+                fresh_sim_us_per_wall_s=result.sim_us_per_wall_s,
+                threshold=threshold,
+            )
+        )
+    return comparisons
+
+
+def format_compare_table(comparisons: list[BenchComparison]) -> str:
+    """Human-readable comparison summary printed by the CLI."""
+    width = max([len("scenario")] + [len(c.name) for c in comparisons])
+    header = (
+        f"{'scenario':<{width}} {'baseline':>14} {'fresh':>14} "
+        f"{'ratio':>7}  verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for c in comparisons:
+        base = (
+            f"{c.baseline_sim_us_per_wall_s:,.0f}"
+            if c.baseline_sim_us_per_wall_s is not None
+            else "—"
+        )
+        ratio = f"{c.ratio:.2f}x" if c.ratio is not None else "—"
+        if c.ratio is None:
+            verdict = "no baseline"
+        elif c.regressed:
+            verdict = f"REGRESSED (>{c.threshold:.0%} drop)"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{c.name:<{width}} {base:>14} "
+            f"{c.fresh_sim_us_per_wall_s:>14,.0f} {ratio:>7}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def git_sha() -> str:
+    """The current commit's short SHA, or ``"unknown"`` outside git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def history_line(
+    results: list[BenchResult], *, quick: bool = False, repeats: int = 3
+) -> dict:
+    """One append-only history record: commit + per-scenario throughput."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench_history",
+        "git_sha": git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "repro_version": __version__,
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "repeats": repeats,
+        "scenarios": {
+            result.name: round(result.sim_us_per_wall_s, 1)
+            for result in results
+        },
+    }
+
+
+def append_history(
+    results: list[BenchResult],
+    path: str = HISTORY_FILE,
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+) -> dict:
+    """Append one history line for this run; returns the record."""
+    record = history_line(results, quick=quick, repeats=repeats)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
 def format_bench_table(results: list[BenchResult]) -> str:
     """Human-readable summary printed by the CLI."""
     width = max([len("scenario")] + [len(r.name) for r in results])
@@ -356,15 +525,24 @@ def format_bench_table(results: list[BenchResult]) -> str:
 __all__ = [
     "BENCH_REGISTRY",
     "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
     "BenchError",
     "BenchResult",
     "BenchScenario",
     "DEFAULT_ARTIFACT",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "HISTORY_FILE",
     "QUICK_ARTIFACT",
+    "append_history",
     "bench_scenario",
     "bench_to_dict",
     "bench_to_json",
+    "compare_to_baseline",
     "format_bench_table",
+    "format_compare_table",
+    "git_sha",
+    "history_line",
+    "load_bench_artifact",
     "run_bench",
     "run_scenario",
 ]

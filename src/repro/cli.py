@@ -41,10 +41,16 @@ from repro._version import __version__
 from repro.bench import (
     BENCH_REGISTRY,
     DEFAULT_ARTIFACT,
+    DEFAULT_REGRESSION_THRESHOLD,
+    HISTORY_FILE,
     QUICK_ARTIFACT,
     BenchError,
+    append_history,
     bench_to_json,
+    compare_to_baseline,
     format_bench_table,
+    format_compare_table,
+    load_bench_artifact,
     run_bench,
 )
 from repro.experiments.registry import (
@@ -195,6 +201,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"path; put scenario names before --json, or use "
             f"--json=PATH"
         )
+    if args.compare in BENCH_REGISTRY:
+        # Same footgun for ``bench --compare overload64``.
+        raise BenchError(
+            f"--compare consumed the scenario name {args.compare!r} as its "
+            f"baseline path; put scenario names before --compare, or use "
+            f"--compare=PATH"
+        )
     json_path = args.json
     if args.quick and json_path == DEFAULT_ARTIFACT:
         # ``--quick --json`` (bare, or naming the default path — argparse
@@ -205,6 +218,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"--quick: writing {QUICK_ARTIFACT} "
             f"(tracked {DEFAULT_ARTIFACT} left untouched)"
         )
+    baseline = None
+    if args.compare is not None:
+        # Load before the (slow) run so a bad path fails fast.
+        baseline = load_bench_artifact(args.compare)
     results = run_bench(
         args.scenario or None, quick=args.quick, repeats=args.repeats
     )
@@ -215,6 +232,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             bench_to_json(results, quick=args.quick, repeats=args.repeats),
             json_path,
         )
+    if not args.quick and not args.no_history:
+        record = append_history(
+            results, args.history, quick=args.quick, repeats=args.repeats
+        )
+        if json_path != "-":
+            print(f"appended run {record['git_sha']} to {args.history}")
+    if baseline is not None:
+        comparisons = compare_to_baseline(
+            results, baseline, threshold=args.threshold
+        )
+        print(format_compare_table(comparisons))
+        regressed = [c.name for c in comparisons if c.regressed]
+        if regressed:
+            print(
+                f"perf regression (> {args.threshold:.0%} throughput drop) "
+                f"vs {args.compare}: {', '.join(regressed)}"
+            )
+            return 1
     return 0
 
 
@@ -305,6 +340,34 @@ def build_parser() -> argparse.ArgumentParser:
             f"{DEFAULT_ARTIFACT}, or {QUICK_ARTIFACT} under --quick so "
             "quick numbers never clobber the tracked baseline)"
         ),
+    )
+    p_bench.add_argument(
+        "--compare", metavar="BASELINE", nargs="?", const=DEFAULT_ARTIFACT,
+        help=(
+            "diff this run against a committed baseline artifact "
+            f"(default {DEFAULT_ARTIFACT}); exits non-zero when any "
+            "scenario's throughput regressed past --threshold"
+        ),
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=DEFAULT_REGRESSION_THRESHOLD,
+        metavar="FRACTION",
+        help=(
+            "allowed fractional throughput drop before --compare fails "
+            f"(default {DEFAULT_REGRESSION_THRESHOLD:g}; CI uses a looser "
+            "value because shared runners are noisy)"
+        ),
+    )
+    p_bench.add_argument(
+        "--history", metavar="PATH", default=HISTORY_FILE,
+        help=(
+            "append-only JSONL perf log written by non-quick runs "
+            f"(default {HISTORY_FILE})"
+        ),
+    )
+    p_bench.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending this run to the history log",
     )
     p_bench.set_defaults(handler=_cmd_bench)
 

@@ -81,6 +81,16 @@ class _ControlledThread:
     current_ppt: int = 0
     current_period_us: int = 0
     last_class: Optional[ThreadClass] = None
+    #: Registry version at which ``last_class`` was derived;
+    #: classification only changes when a linkage is added or removed,
+    #: so it is cached between registry changes.
+    class_version: int = -1
+    #: Per-thread decision object, mutated in place every tick (one
+    #: decision exists per controlled thread per tick by construction,
+    #: so reuse saves a nine-field dataclass build per thread-tick).
+    decision: Optional[AllocationDecision] = None
+    #: Reusable squish proposal for the overload path.
+    squish_request: Optional[SquishRequest] = None
 
 
 class ProportionAllocator:
@@ -212,20 +222,34 @@ class ProportionAllocator:
 
         Returns the decisions made, in registration order, after
         actuating them on the scheduler.
+
+        The returned :class:`AllocationDecision` objects are **reused
+        across ticks** (one long-lived instance per controlled thread,
+        mutated in place) — a deliberate hot-path trade-off, since one
+        decision exists per thread per tick.  Read them before the next
+        update; a caller that wants a history must copy the fields it
+        cares about, not retain the objects.
         """
         dt = self.config.controller_period_s
         self.updates += 1
         self._drop_exited()
 
-        decisions = [
-            self._decide(state, now, dt) for state in self._controlled.values()
-        ]
+        decide = self._decide
+        states = list(self._controlled.values())
+        decisions = [decide(state, now, dt) for state in states]
 
         self._resolve_overload(decisions, now)
 
-        for decision in decisions:
-            state = self._controlled[decision.thread.tid]
-            self._actuate(state, decision.granted_ppt, decision.period_us, now=now)
+        # ``decisions`` is index-aligned with ``states`` (both walk the
+        # registration-ordered dict), so actuation avoids a dict lookup
+        # per thread.
+        scheduler = self.scheduler
+        for state, decision in zip(states, decisions):
+            scheduler.set_reservation(
+                state.thread, decision.granted_ppt, decision.period_us, now=now
+            )
+            state.current_ppt = decision.granted_ppt
+            state.current_period_us = decision.period_us
         return decisions
 
     # ------------------------------------------------------------------
@@ -236,52 +260,103 @@ class ProportionAllocator:
     ) -> AllocationDecision:
         spec = state.spec
         thread = state.thread
-        has_metric = self.registry.has_progress_metric(thread)
-        thread_class = classify(spec, has_metric)
-        state.last_class = thread_class
+        registry = self.registry
+        # Classification is a pure function of the (immutable) spec and
+        # the registry's linkage knowledge; re-derive it only when a
+        # linkage was added or removed.
+        version = registry.version
+        if state.class_version == version:
+            thread_class = state.last_class
+        else:
+            thread_class = classify(spec, registry.has_progress_metric(thread))
+            state.last_class = thread_class
+            state.class_version = version
+
+        decision = state.decision
+        if decision is None:
+            decision = state.decision = AllocationDecision(
+                thread=thread,
+                thread_class=thread_class,
+                pressure_raw=None,
+                cumulative_pressure=None,
+                desired_ppt=0,
+                granted_ppt=0,
+                period_us=0,
+            )
+        else:
+            decision.thread_class = thread_class
+            decision.squished = False
+            decision.reclaimed = False
+            decision._saturation = None
 
         if thread_class is ThreadClass.REAL_TIME:
             # Keep the reservation exactly as specified; usage is still
             # sampled so the monitor's bookkeeping stays continuous.
             self.usage_monitor.sample(thread, now, state.current_ppt)
-            return AllocationDecision(
-                thread=thread,
-                thread_class=thread_class,
-                pressure_raw=None,
-                cumulative_pressure=None,
-                desired_ppt=spec.proportion_ppt,
-                granted_ppt=spec.proportion_ppt,
-                period_us=spec.period_us,
-            )
+            decision.pressure_raw = None
+            decision.cumulative_pressure = None
+            decision.desired_ppt = spec.proportion_ppt
+            decision.granted_ppt = spec.proportion_ppt
+            decision.period_us = spec.period_us
+            return decision
 
         if thread_class is ThreadClass.APERIODIC_REAL_TIME:
             self.usage_monitor.sample(thread, now, state.current_ppt)
             period = self._period_for(state, thread_class, fill_level=None)
-            return AllocationDecision(
-                thread=thread,
-                thread_class=thread_class,
-                pressure_raw=None,
-                cumulative_pressure=None,
-                desired_ppt=spec.proportion_ppt,
-                granted_ppt=spec.proportion_ppt,
-                period_us=period,
-            )
+            decision.pressure_raw = None
+            decision.cumulative_pressure = None
+            decision.desired_ppt = spec.proportion_ppt
+            decision.granted_ppt = spec.proportion_ppt
+            decision.period_us = period
+            return decision
 
         # Real-rate and miscellaneous threads go through the estimator.
         if thread_class is ThreadClass.REAL_RATE:
             sample = state.sampler.sample()
             pressure_raw = sample.raw if sample is not None else 0.0
-            fill_level = self._representative_fill(state)
+            fill_level = sample.mean_fill if sample is not None else None
         else:
-            sample = self.misc_pressure_source.sample()
-            pressure_raw = sample.raw
+            sample = None
+            pressure_raw = self.misc_pressure_source.pressure
             fill_level = None
 
         current_ppt = state.current_ppt
-        usage = self.usage_monitor.sample(thread, now, current_ppt)
-        estimate = state.estimator.estimate(pressure_raw, usage, current_ppt, dt)
-        period = self._period_for(state, thread_class, fill_level)
-        desired_ppt = estimate.desired_ppt
+        # Usage sampling (UsageMonitor.sample) inlined: one dict probe
+        # and three integer ops per thread-tick, no sample object.
+        tid = thread.tid
+        total = thread.accounting.total_us
+        monitor_last = self.usage_monitor._last
+        previous = monitor_last.get(tid)
+        if previous is None:
+            used = 0
+            interval = 0
+        else:
+            used = total - previous[0]
+            if used < 0:
+                used = 0
+            interval = now - previous[1]
+            if interval < 0:
+                interval = 0
+        monitor_last[tid] = (total, now)
+        allocated = interval * current_ppt // 1000
+        desired_ppt, cumulative, reclaimed = state.estimator.estimate_tick(
+            pressure_raw, used, interval, allocated, current_ppt, dt
+        )
+        # _period_for, inlined (one branch cascade per thread-tick).
+        config = self.config
+        if spec.interactive:
+            period = config.interactive_period_us
+        elif spec.period_us is not None:
+            period = spec.period_us
+        elif (
+            state.period_estimator is not None
+            and thread_class is ThreadClass.REAL_RATE
+        ):
+            period = state.period_estimator.update(
+                current_ppt or config.min_proportion_ppt, fill_level
+            ).period_us
+        else:
+            period = config.default_period_us
         if spec.interactive:
             # Interactive jobs: "assigning them a small period and
             # estimating their proportion by measuring the amount of
@@ -290,23 +365,19 @@ class ProportionAllocator:
             # feedback alone would park them at the floor; the
             # run-before-block heuristic reserves enough to serve one
             # typical burst within each (small) period.
-            burst_us = self.usage_monitor.run_before_block_us(thread)
+            burst_us = thread.accounting.run_before_block_ema_us
             if burst_us > 0:
                 heuristic_ppt = int(
                     round(1.5 * burst_us * PROPORTION_SCALE / period)
                 )
                 heuristic_ppt = min(self.config.max_proportion_ppt, heuristic_ppt)
                 desired_ppt = max(desired_ppt, heuristic_ppt)
-        decision = AllocationDecision(
-            thread=thread,
-            thread_class=thread_class,
-            pressure_raw=pressure_raw,
-            cumulative_pressure=estimate.cumulative_pressure,
-            desired_ppt=desired_ppt,
-            granted_ppt=desired_ppt,
-            period_us=period,
-            reclaimed=estimate.reclaimed,
-        )
+        decision.pressure_raw = pressure_raw
+        decision.cumulative_pressure = cumulative
+        decision.desired_ppt = desired_ppt
+        decision.granted_ppt = desired_ppt
+        decision.period_us = period
+        decision.reclaimed = reclaimed
         # A quality exception is only warranted when a queue saturated in
         # the direction that means this thread is falling behind (signed
         # pressure at its maximum): a consumer's queue completely full,
@@ -401,14 +472,25 @@ class ProportionAllocator:
     ) -> None:
         if not decisions:
             return
-        requests = [
-            SquishRequest(
-                key=d.thread.tid,
-                desired_ppt=d.desired_ppt,
-                importance=self._controlled[d.thread.tid].spec.importance,
-            )
-            for d in decisions
-        ]
+        controlled = self._controlled
+        requests = []
+        append = requests.append
+        for d in decisions:
+            state = controlled[d.thread.tid]
+            request = state.squish_request
+            if request is None:
+                request = state.squish_request = SquishRequest(
+                    key=d.thread.tid,
+                    desired_ppt=d.desired_ppt,
+                    importance=state.spec.importance,
+                )
+            else:
+                # Reused proposal: only the desired proportion moves
+                # tick to tick (the key is the tid and the importance
+                # comes from the immutable spec).
+                request.desired_ppt = d.desired_ppt
+                request.importance = state.spec.importance
+            append(request)
         grants = self.squish_policy.squish(requests, max(0, available_ppt))
         for decision in decisions:
             granted = grants.get(decision.thread.tid, decision.desired_ppt)

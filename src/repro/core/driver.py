@@ -106,6 +106,12 @@ class ControllerDriver:
         #: label]; resolves the label f-strings and the tracer's name
         #: lookup once per thread instead of twice per tick.
         self._trace_series: dict[int, list] = {}
+        #: Cached "alloc:total" series, created on first use so a
+        #: driver that never ticks leaves no empty series behind.
+        self._total_series = None
+        # The tick is a periodic entry in the kernel's unified event
+        # calendar, so the run-to-horizon engine sees the next sample
+        # as an ordinary transition instead of being polled for it.
         self._periodic: PeriodicEvent = kernel.add_periodic(
             self.period_us, self._tick, start_us=start_us, label="controller"
         )
@@ -136,6 +142,7 @@ class ControllerDriver:
         if self.trace_allocations:
             tracer = self.kernel.tracer
             cache = self._trace_series
+            total_granted = 0
             for decision in decisions:
                 thread = decision.thread
                 entry = cache.get(thread.tid)
@@ -149,7 +156,9 @@ class ControllerDriver:
                         None,
                         f"pressure:{thread.name}",
                     ]
-                entry[0].append(now, decision.granted_ppt)
+                granted = decision.granted_ppt
+                total_granted += granted
+                entry[0].append(now, granted)
                 if decision.cumulative_pressure is not None:
                     pressure_series = entry[1]
                     if pressure_series is None:
@@ -157,9 +166,10 @@ class ControllerDriver:
                     pressure_series.append(now, decision.cumulative_pressure)
             # Aggregate grant, for eyeballing total load against the
             # kernel's capacity of n_cpus * PROPORTION_SCALE.
-            tracer.record(
-                "alloc:total", now, sum(d.granted_ppt for d in decisions)
-            )
+            total_series = self._total_series
+            if total_series is None:
+                total_series = self._total_series = tracer.series("alloc:total")
+            total_series.append(now, total_granted)
 
     # ------------------------------------------------------------------
     # overhead reporting (Figure 5)

@@ -48,6 +48,10 @@ class SymbioticRegistry:
         #: controller queries every controlled thread once per tick, so
         #: these lookups must not scan the global linkage list.
         self._by_thread: dict[int, list[Linkage]] = {}
+        #: Bumped on every registration change; the controller uses it
+        #: to cache per-thread classifications between changes instead
+        #: of re-deriving them for every thread every tick.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # registration (the meta-interface system call)
@@ -70,6 +74,7 @@ class SymbioticRegistry:
                 f"a different channel named {channel.name!r} is already registered"
             )
         linkage = Linkage(thread=thread, channel=channel, role=role)
+        self.version += 1
         self._linkages.append(linkage)
         self._by_thread.setdefault(thread.tid, []).append(linkage)
         self._channels[channel.name] = channel
@@ -90,6 +95,7 @@ class SymbioticRegistry:
     def unregister_thread(self, thread: SimThread) -> int:
         """Drop all linkages for ``thread`` (e.g. on exit); returns count."""
         before = len(self._linkages)
+        self.version += 1
         self._linkages = [l for l in self._linkages if l.thread != thread]
         self._by_thread.pop(thread.tid, None)
         return before - len(self._linkages)
@@ -97,6 +103,7 @@ class SymbioticRegistry:
     def unregister_channel(self, channel: Channel) -> int:
         """Drop all linkages involving ``channel``; returns count removed."""
         before = len(self._linkages)
+        self.version += 1
         self._linkages = [l for l in self._linkages if l.channel is not channel]
         for tid, own in list(self._by_thread.items()):
             kept = [l for l in own if l.channel is not channel]

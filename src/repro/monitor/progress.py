@@ -47,12 +47,18 @@ class PressureSample:
         Whether any of the thread's queues was completely full or
         completely empty at the sample — the condition under which the
         controller may raise a quality exception during overload.
+    mean_fill:
+        Mean fill level across the thread's queues at the sample (the
+        period estimator's input), or ``None`` when the source has no
+        queues.  Computed alongside the pressures so the controller
+        does not re-read every fill level a second time per tick.
     """
 
     raw: float
     per_channel: dict[str, float] = field(default_factory=dict)
     saturated_full: bool = False
     saturated_empty: bool = False
+    mean_fill: Optional[float] = None
 
 
 class QueueFillMonitor:
@@ -132,23 +138,30 @@ class ProgressSampler:
         if not linkages:
             return None
         total = 0.0
+        fill_total = 0.0
         per_channel: dict[str, float] = {}
         saturated_full = False
         saturated_empty = False
+        setpoint = self.setpoint
         for linkage in linkages:
-            monitor = QueueFillMonitor(linkage, setpoint=self.setpoint)
-            signed = monitor.signed_pressure()
-            per_channel[linkage.channel.name] = signed
+            # The per-linkage arithmetic of QueueFillMonitor, without
+            # building a monitor object per linkage per tick.
+            channel = linkage.channel
+            fill = channel.fill_level()
+            fill_total += fill
+            signed = linkage.role.sign * (fill - setpoint)
+            per_channel[channel.name] = signed
             total += signed
-            if linkage.channel.is_full():
+            if channel.is_full():
                 saturated_full = True
-            if linkage.channel.is_empty():
+            if channel.is_empty():
                 saturated_empty = True
         return PressureSample(
             raw=total,
             per_channel=per_channel,
             saturated_full=saturated_full,
             saturated_empty=saturated_empty,
+            mean_fill=fill_total / len(linkages),
         )
 
 

@@ -59,6 +59,38 @@ O(n)-scan code this replaces.  Subclasses overriding the lifecycle
 hooks (:meth:`Scheduler.on_ready`, :meth:`Scheduler.on_block`,
 :meth:`Scheduler.on_yield`, :meth:`Scheduler.on_preempt`) must call
 ``super()`` so the shared hints stay maintained.
+
+The preemption-horizon contract
+-------------------------------
+The run-to-horizon kernel engine batches consecutive dispatches of the
+same thread without re-entering :meth:`Scheduler.pick_next`, which is
+only sound while the scheduler can *prove* that every skipped pick
+would have returned the same thread and had no observable side
+effects.  Two pieces of state encode that proof:
+
+* :attr:`Scheduler.state_epoch` — a counter bumped by every mutation
+  that can change the outcome (or the side effects) of a pick: a
+  thread waking, blocking, being added or removed, a reservation being
+  re-sized, ticket or priority-inheritance changes.  The kernel
+  snapshots the epoch after a pick and abandons the batch as soon as
+  it moves.  Subclasses that add pick-relevant state of their own must
+  bump the epoch when that state changes.
+* :meth:`Scheduler.preemption_horizon` — the earliest future virtual
+  time at which a *time-driven* change could alter a pick or make a
+  pick-time side effect non-trivial (a throttled reservation
+  replenishing, a period window rolling at the pick, a pending unmet
+  demand turning into a deadline miss).  The kernel only batches
+  dispatches that *start* strictly before the horizon; a dispatch
+  starting at or after it goes through a real pick, which realises the
+  time-driven change at exactly the same virtual time the quantum-
+  sliced engine realised it.
+
+Schedulers whose pick itself mutates state on every call (round-robin
+cursors, lottery draws) declare a horizon only when the pick outcome
+is forced (a single candidate) and replay the skipped mutations in
+:meth:`Scheduler.note_batched_picks`, keeping cursor positions and RNG
+streams bit-identical to the quantum-sliced engine.  The default
+horizon is ``now`` — an unknown policy is never batched.
 """
 
 from __future__ import annotations
@@ -151,6 +183,19 @@ class LazyMinHeap:
         for entry in entries:
             self._live[entry[-1]] = entry
             heapq.heappush(self._heap, entry)
+
+    def live_sorted(self) -> list[tuple]:
+        """All live entries in ascending order (a non-mutating walk).
+
+        Entry tuples form a total order (the trailing tid is unique),
+        so this is exactly the sequence :meth:`pop` would yield —
+        without disturbing the heap.  Used by pick paths that need to
+        *scan past* ineligible entries: sorting the small live set
+        beats a pop/push-back churn through the backing heap.
+        """
+        entries = list(self._live.values())
+        entries.sort()
+        return entries
 
     def clear(self) -> None:
         self._heap.clear()
@@ -245,6 +290,10 @@ class Scheduler(ABC):
         )
         #: tid -> CPU assignment computed by the latest placement round.
         self._placement_map: dict[int, int] = {}
+        #: Bumped by every mutation that can change a pick (see the
+        #: preemption-horizon contract in the module docstring).  The
+        #: run-to-horizon kernel snapshots it to validate batching.
+        self.state_epoch = 0
 
     # ------------------------------------------------------------------
     # wiring
@@ -274,11 +323,13 @@ class Scheduler(ABC):
         """Register a new thread with the policy (O(1))."""
         if thread.tid in self._run_queue:
             raise SchedulerError(f"thread {thread.name!r} already registered")
+        self.state_epoch += 1
         self._run_queue.add(thread)
         self.on_add(thread)
 
     def remove_thread(self, thread: SimThread) -> None:
         """Remove a thread (normally on exit; O(1))."""
+        self.state_epoch += 1
         self._run_queue.remove(thread.tid)
         self.on_remove(thread)
 
@@ -295,10 +346,16 @@ class Scheduler(ABC):
 
         Registration order, exactly as the full-membership scan this
         replaces; built from the ready hints and re-checked against
-        ``thread.state``.
+        ``thread.state`` (identity checks — the ``is_runnable``
+        property costs an enum-tuple membership test per thread per
+        placement round).
         """
+        ready = ThreadState.READY
+        running = ThreadState.RUNNING
         return [
-            t for t in self._run_queue.ready_in_order() if t.state.is_runnable
+            t
+            for t in self._run_queue.ready_in_order()
+            if t.state is ready or t.state is running
         ]
 
     # ------------------------------------------------------------------
@@ -313,15 +370,32 @@ class Scheduler(ABC):
         """
         return 1.0
 
+    def placement_weights(self, threads: list[SimThread]) -> list[float]:
+        """Bulk :meth:`placement_weight` for one placement round.
+
+        Placement evaluates every runnable thread's weight every
+        dispatch round; one bulk call replaces a Python method call per
+        thread.  Overrides must agree with :meth:`placement_weight`.
+        """
+        weight = self.placement_weight
+        return [weight(t) for t in threads]
+
     def place_threads(self, now: int) -> dict[int, int]:
         """(Re)assign runnable threads to CPUs for the coming round.
 
         Called by the multiprocessor kernel at the start of every
         dispatch round.  Returns (and caches) the tid -> CPU mapping.
+        Placement is a pure function of the runnable set, the weights
+        and the CPU count, all of which are covered by
+        :attr:`state_epoch` — the run-to-horizon kernel uses that to
+        skip redundant calls entirely while the epoch stands still.
         """
         runnable = self.runnable_threads()
         self._placement_map = self.placement.assign(
-            runnable, self.n_cpus, self.placement_weight
+            runnable,
+            self.n_cpus,
+            self.placement_weight,
+            weights=self.placement_weights(runnable),
         )
         return self._placement_map
 
@@ -366,10 +440,12 @@ class Scheduler(ABC):
 
     def on_ready(self, thread: SimThread, now: int) -> None:
         """Hook: a thread became runnable (overrides must call super)."""
+        self.state_epoch += 1
         self._run_queue.note_ready(thread)
 
     def on_block(self, thread: SimThread, now: int) -> None:
         """Hook: a thread blocked or slept (overrides must call super)."""
+        self.state_epoch += 1
         self._run_queue.note_blocked(thread.tid)
 
     def on_yield(self, thread: SimThread, now: int) -> None:
@@ -384,10 +460,15 @@ class Scheduler(ABC):
         """Hook: a thread was just selected to run."""
 
     def on_mutex_block(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
-        """Hook: ``thread`` blocked acquiring ``mutex`` (for inheritance)."""
+        """Hook: ``thread`` blocked acquiring ``mutex``.  Bumps the
+        state epoch (priority inheritance can reorder picks); overrides
+        must call super."""
+        self.state_epoch += 1
 
     def on_mutex_release(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
-        """Hook: ``thread`` released ``mutex`` (for inheritance)."""
+        """Hook: ``thread`` released ``mutex``.  Bumps the state epoch
+        (inheritance boosts end here); overrides must call super."""
+        self.state_epoch += 1
 
     def charge(self, thread: SimThread, consumed_us: int, now: int) -> None:
         """Hook: ``thread`` consumed ``consumed_us`` of CPU ending at ``now``."""
@@ -404,6 +485,37 @@ class Scheduler(ABC):
         becomes eligible again (e.g. a throttled reservation
         replenishes), or ``None`` if there is no such time."""
         return None
+
+    # ------------------------------------------------------------------
+    # run-to-horizon support
+    # ------------------------------------------------------------------
+    def preemption_horizon(
+        self, now: int, thread: SimThread, cpu: Optional[int] = None
+    ) -> Optional[int]:
+        """Horizon up to which dispatches of ``thread`` may be batched.
+
+        Called by the run-to-horizon kernel immediately after
+        ``thread`` was picked at ``now``.  The return value ``H``
+        promises: while :attr:`state_epoch` does not move, any pick at
+        a virtual time ``t`` with ``now <= t < H`` would return
+        ``thread`` again and have no observable side effect beyond
+        those replayed by :meth:`note_batched_picks`.  ``None`` means
+        unbounded (the epoch and the event calendar are the only
+        limits); returning ``now`` disables batching entirely, which is
+        the only safe default for an unknown policy.
+        """
+        return now
+
+    def note_batched_picks(self, thread: SimThread, skipped: int, now: int) -> None:
+        """Replay the per-pick state mutations of ``skipped`` batched picks.
+
+        The run-to-horizon engine dispatched ``thread`` ``skipped``
+        extra times without calling :meth:`pick_next`; policies whose
+        pick mutates state on every call (round-robin cursors, lottery
+        draws) reproduce those mutations here so later picks are
+        bit-identical to the quantum-sliced engine.  The default is a
+        no-op.
+        """
 
     # ------------------------------------------------------------------
     # dispatch decisions

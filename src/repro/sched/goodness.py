@@ -124,6 +124,35 @@ class LinuxGoodnessScheduler(Scheduler):
             best, _ = self._best_by_goodness(runnable)
         return best
 
+    def preemption_horizon(
+        self, now: int, thread: SimThread, cpu: Optional[int] = None
+    ) -> Optional[int]:
+        """Batchable while a sole candidate still has quantum left.
+
+        With one runnable thread the pick is forced until its counter
+        reaches zero, at which point the next pick performs the global
+        recharge — an observable side effect (counters, carryover,
+        ``recharges``) that must happen at the same virtual time as in
+        the quantum-sliced engine.  Consumption can never outpace the
+        wall clock, so ``now + counter_us`` is a safe bound: every pick
+        strictly before it still sees a positive counter.  Multi-
+        candidate picks compare decaying goodness values and are not
+        batched; neither are per-CPU picks.
+        """
+        if cpu is not None:
+            return now
+        candidates = self.dispatch_candidates(cpu)
+        if len(candidates) != 1 or candidates[0] is not thread:
+            return now
+        state = self._state(thread)
+        if state.counter_us <= 0:
+            return now
+        if (20 - thread.nice) * 10 <= 0:
+            # Extreme nice values can make goodness non-positive even
+            # with counter left, which would trigger the recharge path.
+            return now
+        return now + state.counter_us
+
     def time_slice(self, thread: SimThread, now: int) -> int:
         state = self._state(thread)
         if state.counter_us <= 0:

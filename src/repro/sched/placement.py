@@ -32,7 +32,7 @@ simulation remains exactly reproducible run to run.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.thread import SimThread
@@ -50,12 +50,16 @@ class PlacementPolicy(ABC):
         threads: Iterable["SimThread"],
         n_cpus: int,
         weight: ThreadWeight,
+        weights: "Optional[list[float]]" = None,
     ) -> dict[int, int]:
         """Map each thread's tid to the CPU index it may run on.
 
         ``weight`` supplies the load contribution of a thread (used by
-        load-balancing policies; static policies may ignore it).  The
-        mapping must respect each thread's ``affinity`` when set.
+        load-balancing policies; static policies may ignore it).  When
+        the caller already evaluated the weights, ``weights`` carries
+        them index-aligned with ``threads`` so the policy does not make
+        one Python call per thread per round.  The mapping must respect
+        each thread's ``affinity`` when set.
         """
 
     @staticmethod
@@ -73,18 +77,38 @@ class LeastLoadedPlacement(PlacementPolicy):
         threads: Iterable["SimThread"],
         n_cpus: int,
         weight: ThreadWeight,
+        weights: "Optional[list[float]]" = None,
     ) -> dict[int, int]:
         loads = [0.0] * n_cpus
         mapping: dict[int, int] = {}
         # Heaviest-first gives the classic LPT balance guarantee; the
         # tid tiebreak keeps the order (and therefore the whole
-        # simulation) deterministic.
-        ordered = sorted(threads, key=lambda t: (-weight(t), t.tid))
-        for thread in ordered:
-            allowed = self._allowed_cpus(thread, n_cpus)
-            cpu = min(allowed, key=lambda c: (loads[c], c))
-            mapping[thread.tid] = cpu
-            loads[cpu] += max(0.0, weight(thread))
+        # simulation) deterministic.  Weights are evaluated once per
+        # thread and the argmin over CPU loads is unrolled by hand —
+        # this runs for every dispatch round of an SMP kernel, so the
+        # per-call lambda and ``min(key=...)`` overhead is measurable.
+        if weights is None:
+            decorated = [(-weight(t), t.tid, t) for t in threads]
+        else:
+            decorated = [
+                (-w, t.tid, t) for w, t in zip(weights, threads)
+            ]
+        decorated.sort()
+        for neg_weight, tid, thread in decorated:
+            affinity = thread.affinity
+            if affinity is not None:
+                cpu = affinity if affinity < n_cpus else n_cpus - 1
+            else:
+                cpu = 0
+                best = loads[0]
+                for index in range(1, n_cpus):
+                    load = loads[index]
+                    if load < best:
+                        best = load
+                        cpu = index
+            mapping[tid] = cpu
+            if neg_weight < 0.0:
+                loads[cpu] -= neg_weight
         return mapping
 
 
@@ -96,6 +120,7 @@ class PinnedPlacement(PlacementPolicy):
         threads: Iterable["SimThread"],
         n_cpus: int,
         weight: ThreadWeight,
+        weights: "Optional[list[float]]" = None,
     ) -> dict[int, int]:
         mapping: dict[int, int] = {}
         for thread in threads:

@@ -47,6 +47,7 @@ class FixedPriorityScheduler(Scheduler):
     # priority inheritance hooks
     # ------------------------------------------------------------------
     def on_mutex_block(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
+        super().on_mutex_block(thread, mutex, now)
         if not self.priority_inheritance:
             return
         owner = mutex.owner
@@ -57,6 +58,7 @@ class FixedPriorityScheduler(Scheduler):
         owner.priority = thread.priority
 
     def on_mutex_release(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
+        super().on_mutex_release(thread, mutex, now)
         if not self.priority_inheritance:
             return
         base = self._base_priority.pop(thread.tid, None)
@@ -84,6 +86,33 @@ class FixedPriorityScheduler(Scheduler):
                 cohort.append(thread)
         self._cursor += 1
         return cohort[self._cursor % len(cohort)]
+
+    def preemption_horizon(
+        self, now: int, thread: SimThread, cpu: Optional[int] = None
+    ) -> Optional[int]:
+        """Batchable only when ``thread`` is the sole top-priority thread.
+
+        A singleton cohort makes the pick forced: equal-priority
+        round-robin cannot rotate, and any event that could create a
+        competitor (a wake-up, a priority-inheritance boost) bumps the
+        state epoch and ends the batch.  Per-CPU picks are never
+        batched.
+        """
+        if cpu is not None:
+            return now
+        runnable = self.dispatch_candidates(cpu)
+        if not runnable:
+            return now
+        top = max(t.priority for t in runnable)
+        cohort = [t for t in runnable if t.priority == top]
+        if len(cohort) == 1 and cohort[0] is thread:
+            return None
+        return now
+
+    def note_batched_picks(self, thread: SimThread, skipped: int, now: int) -> None:
+        # The cursor advances once per pick regardless of cohort size;
+        # the skipped picks all had the singleton cohort.
+        self._cursor += skipped
 
 
 __all__ = ["FixedPriorityScheduler"]

@@ -237,16 +237,16 @@ class ReservationScheduler(Scheduler):
         change proportion and period": actuation does not reset
         accounting, it simply changes the budget going forward.
         """
-        if not self.has_thread(thread):
+        if thread.tid not in self._run_queue:
             raise SchedulerError(
                 f"thread {thread.name!r} is not registered with this scheduler"
             )
-        if now is None:
-            now = self.kernel.now if self.kernel is not None else 0
         proportion_ppt = int(proportion_ppt)
         period_us = int(period_us)
-        current = self.reservation(thread)
+        current = thread.sched_data.get(self.SCHED_KEY)
         if current is None:
+            if now is None:
+                now = self.kernel.now if self.kernel is not None else 0
             reservation = Reservation(
                 proportion_ppt=proportion_ppt,
                 period_us=period_us,
@@ -276,8 +276,15 @@ class ReservationScheduler(Scheduler):
                 f"period must be positive, got {period_us}us"
             )
         self._reserved_ppt_total += proportion_ppt - current.proportion_ppt
+        # Any proportion change alters the placement weight (and may
+        # re-key the ready heap), so in-flight batches and cached
+        # placements must be invalidated even when the queue entries
+        # themselves stand.
+        self.state_epoch += 1
         current.proportion_ppt = proportion_ppt
         if period_us != current.period_us:
+            if now is None:
+                now = self.kernel.now if self.kernel is not None else 0
             current.period_us = period_us
             current.period_start = now
             current.used_in_period_us = 0
@@ -296,6 +303,7 @@ class ReservationScheduler(Scheduler):
         tid = thread.tid
         reservation = self._reservations.pop(tid, None)
         if reservation is not None:
+            self.state_epoch += 1
             self._reserved_ppt_total -= reservation.proportion_ppt
             self._deadline_miss_total -= reservation.deadline_misses
             self._rm_heap.discard(tid)
@@ -342,6 +350,7 @@ class ReservationScheduler(Scheduler):
         """Invalidate ``thread``'s queue entries and defer its
         reclassification to the next pick (where ``now`` is known)."""
         tid = thread.tid
+        self.state_epoch += 1
         self._rm_heap.discard(tid)
         self._replenish.discard(tid)
         if tid not in self._pending_set:
@@ -370,8 +379,14 @@ class ReservationScheduler(Scheduler):
         tid = thread.tid
         if tid in self._pending_set:
             return
+        exhausted = reservation.used_in_period_us >= (
+            reservation.period_us * reservation.proportion_ppt // PROPORTION_SCALE
+        )
         if tid in self._rm_heap:
-            if not reservation.exhausted:
+            if not exhausted:
+                # The rate-monotonic key changed: invalidate any
+                # in-flight run-to-horizon batch.
+                self.state_epoch += 1
                 self._rm_heap.push(
                     tid,
                     (reservation.period_us, -reservation.proportion_ppt, tid),
@@ -380,10 +395,11 @@ class ReservationScheduler(Scheduler):
                 self._reexamine(thread)
             return
         if tid in self._replenish:
-            if not reservation.exhausted:
+            if not exhausted:
                 self._reexamine(thread)
             return
-        if thread.state.is_runnable:
+        state = thread.state
+        if state is ThreadState.READY or state is ThreadState.RUNNING:
             self._reexamine(thread)
 
     def _rebuild_best_effort(self) -> None:
@@ -464,6 +480,12 @@ class ReservationScheduler(Scheduler):
         advanced every reservation — including blocked ones — but
         never marked demand.
         """
+        if not self._unmarked and not self._pending and not self._wanted_stray:
+            # Fast path for the common steady state: nothing deferred,
+            # so only a due replenishment can require service.
+            entry = self._replenish.peek()
+            if entry is None or entry[0] > now:
+                return
         if mark_wanted and self._unmarked:
             # Throttled threads that were last examined by refresh: the
             # scan would record their unmet demand at this pick.
@@ -575,8 +597,15 @@ class ReservationScheduler(Scheduler):
             return
         reservation.used_in_period_us += consumed_us
         reservation.total_allocated_us += consumed_us
-        self._advance(thread.tid, reservation, now)
-        if reservation.exhausted:
+        # _advance is a no-op until the window must roll (its guard,
+        # inlined: elapsed periods > 0 iff now - start >= period).
+        if now - reservation.period_start >= reservation.period_us:
+            self._advance(thread.tid, reservation, now)
+        if reservation.used_in_period_us >= (
+            reservation.period_us
+            * reservation.proportion_ppt
+            // PROPORTION_SCALE
+        ):
             # The budget ran out: leave the ready order and wait for a
             # pick to mark unmet demand / schedule the replenishment
             # (pick time is when the scan-based code did both).
@@ -596,43 +625,81 @@ class ReservationScheduler(Scheduler):
             return 1.0
         return float(reservation.proportion_ppt)
 
+    def placement_weights(self, threads: list[SimThread]) -> list[float]:
+        """Bulk weights: one tight loop instead of a call per thread."""
+        reservations = self._reservations
+        weights = []
+        append = weights.append
+        for thread in threads:
+            reservation = reservations.get(thread.tid)
+            if reservation is None:
+                append(1.0)
+            else:
+                ppt = reservation.proportion_ppt
+                append(float(ppt) if ppt > 0 else 1.0)
+        return weights
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def pick_next(self, now: int, cpu: Optional[int] = None) -> Optional[SimThread]:
-        self._service_queues(now, mark_wanted=True)
+        # The _service_queues fast-path test, inlined (per-CPU picks
+        # call this up to n_cpus times per round at the same instant).
+        if self._unmarked or self._pending or self._wanted_stray:
+            self._service_queues(now, mark_wanted=True)
+        else:
+            due = self._replenish.peek()
+            if due is not None and due[0] <= now:
+                self._service_queues(now, mark_wanted=True)
         rm_heap = self._rm_heap
+        run_queue = self._run_queue
+        ready = ThreadState.READY
+        running = ThreadState.RUNNING
         # Fast path: the heap minimum is usually dispatchable as-is —
-        # peek avoids a pop/push-back pair per pick.
+        # peek avoids walking the live set (the dispatchability test is
+        # _dispatchable, inlined).
         entry = rm_heap.peek()
         if entry is not None:
             tid = entry[-1]
-            thread = self._run_queue.get(tid)
-            if thread is not None and self._dispatchable(thread, cpu):
-                # Fresh window for time_slice / remaining_us, exactly as
-                # the per-pick scan advanced every candidate.
-                self._advance(tid, self._reservations[tid], now)
-                return thread
-        chosen: Optional[SimThread] = None
-        skipped: list[tuple] = []
-        while True:
-            entry = rm_heap.pop()
-            if entry is None:
-                break
-            thread = self._run_queue.get(entry[-1])
+            thread = run_queue.get(tid)
+            if thread is not None:
+                state = thread.state
+                if cpu is None:
+                    dispatchable = state is ready or state is running
+                elif state is ready:
+                    # eligible_on, inlined for the per-round hot path.
+                    affinity = thread.affinity
+                    if affinity is not None:
+                        dispatchable = affinity == cpu
+                    else:
+                        assigned = self._placement_map.get(tid)
+                        dispatchable = assigned is None or assigned == cpu
+                else:
+                    dispatchable = False
+                if dispatchable:
+                    # Fresh window for time_slice / remaining_us, exactly
+                    # as the per-pick scan advanced every candidate
+                    # (_advance guard inlined: no-op before a roll is due).
+                    reservation = self._reservations[tid]
+                    if now - reservation.period_start >= reservation.period_us:
+                        self._advance(tid, reservation, now)
+                    return thread
+        # Walk past ineligible entries (typically threads claimed by
+        # lower-numbered CPUs this round) without mutating the heap:
+        # the sorted live snapshot is exactly the pop order, and every
+        # entry stays live either way — an ineligible thread may be
+        # eligible for the next CPU's pick, and the chosen one keeps
+        # its rate-monotonic position for future picks.
+        for entry in rm_heap.live_sorted():
+            tid = entry[-1]
+            thread = run_queue.get(tid)
             if thread is None:
                 continue
-            # The entry stays live either way: an ineligible thread may
-            # be eligible for the next CPU's pick, and the chosen one
-            # keeps its rate-monotonic position for future picks.
-            skipped.append(entry)
             if self._dispatchable(thread, cpu):
-                self._advance(entry[-1], self._reservations[entry[-1]], now)
-                chosen = thread
-                break
-        rm_heap.push_back(skipped)
-        if chosen is not None:
-            return chosen
+                reservation = self._reservations[tid]
+                if now - reservation.period_start >= reservation.period_us:
+                    self._advance(tid, reservation, now)
+                return thread
         best_effort = self._best_effort
         if best_effort:
             candidates = [
@@ -649,9 +716,10 @@ class ReservationScheduler(Scheduler):
         dispatched by this pick?  Mirrors ``dispatch_candidates``:
         uniprocessor picks take any runnable thread; per-CPU picks take
         READY threads placed on (or free to run on) that CPU."""
+        state = thread.state
         if cpu is None:
-            return thread.state.is_runnable
-        return thread.state is ThreadState.READY and self.eligible_on(thread, cpu)
+            return state is ThreadState.READY or state is ThreadState.RUNNING
+        return state is ThreadState.READY and self.eligible_on(thread, cpu)
 
     def time_slice(self, thread: SimThread, now: int) -> int:
         reservation = self._reservations.get(thread.tid)
@@ -663,6 +731,74 @@ class ReservationScheduler(Scheduler):
         if self.enforce_within_slice:
             slice_us = min(slice_us, max(1, reservation.remaining_us))
         return slice_us
+
+    def preemption_horizon(
+        self, now: int, thread: SimThread, cpu: Optional[int] = None
+    ) -> Optional[int]:
+        """Time-driven bound on batching dispatches of ``thread``.
+
+        Everything *state*-driven (wake-ups, budget exhaustion via
+        :meth:`charge`, controller actuation) bumps the state epoch and
+        is handled by the kernel; what remains are the pick-time side
+        effects that are pure functions of virtual time, each of which
+        first becomes non-trivial at a known instant:
+
+        * a throttled runnable reservation replenishes — the
+          replenishment heap's minimum;
+        * the picked thread's own period window rolls at the pick —
+          its ``period_end()`` (``advance_to`` is a no-op strictly
+          before it);
+        * a stray recorded unmet demand turns into a deadline miss —
+          that reservation's ``period_end()``.
+
+        A best-effort pick is additionally only batchable when it was
+        forced: no live rate-monotonic entries and a single
+        dispatchable best-effort candidate, since the fairness cursor
+        rotates multi-candidate picks.  Deferred examinations
+        (``pending``/``unmarked``) are serviced by real picks only, so
+        their presence disables batching outright.
+        """
+        if self._pending_set or self._unmarked:
+            return now
+        horizon: Optional[int] = None
+        entry = self._replenish.peek()
+        if entry is not None:
+            horizon = entry[0]
+        if self._wanted_stray:
+            for tid in self._wanted_stray:
+                stray = self._reservations.get(tid)
+                if stray is None:
+                    continue
+                end = stray.period_end()
+                if horizon is None or end < horizon:
+                    horizon = end
+        reservation = self._reservations.get(thread.tid)
+        if reservation is not None:
+            end = reservation.period_end()
+            if horizon is None or end < horizon:
+                horizon = end
+            return horizon
+        if cpu is not None:
+            # Per-CPU best-effort picks depend on the shared cursor and
+            # the claims of lower-numbered CPUs; never batch them.
+            return now
+        if len(self._rm_heap):
+            return now
+        candidates = 0
+        for t in self._best_effort.values():
+            if t.state.is_runnable:
+                candidates += 1
+                if candidates > 1 or t is not thread:
+                    return now
+        if candidates != 1:
+            return now
+        return horizon
+
+    def note_batched_picks(self, thread: SimThread, skipped: int, now: int) -> None:
+        if thread.tid not in self._reservations:
+            # Each skipped best-effort pick saw the same single-entry
+            # candidate list and advanced the fairness cursor by one.
+            self._best_effort_cursor += skipped
 
     def next_wakeup(self, now: int) -> Optional[int]:
         earliest: Optional[int] = None

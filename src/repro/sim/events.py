@@ -107,6 +107,39 @@ class EventQueue:
             self._live -= 1
 
 
+class EventCalendar(EventQueue):
+    """The kernel's unified event calendar.
+
+    One lazy min-heap (inherited from :class:`EventQueue`) holds every
+    *scheduled* occurrence — one-shot timers, sleep and I/O wake-ups,
+    workload arrivals and the controller's periodic tick — while
+    *derived* transition times that would be expensive to keep
+    materialised (a reservation scheduler's next replenishment, which
+    moves on every charge) are merged in lazily from registered
+    sources.  :meth:`next_transition` answers the one question the
+    run-to-horizon kernel asks: *when can the dispatch decision next
+    change for a time-driven reason?* — letting ``run_until`` jump
+    event-to-event instead of polling every quantum.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sources: list[Callable[[int], Optional[int]]] = []
+
+    def add_source(self, source: Callable[[int], Optional[int]]) -> None:
+        """Register a lazy transition source (``now -> time or None``)."""
+        self._sources.append(source)
+
+    def next_transition(self, now: int) -> Optional[int]:
+        """Earliest pending event or source-reported transition time."""
+        earliest = self.next_time()
+        for source in self._sources:
+            t = source(now)
+            if t is not None and (earliest is None or t < earliest):
+                earliest = t
+        return earliest
+
+
 class PeriodicEvent:
     """A self-rescheduling event firing every ``period`` microseconds.
 
@@ -169,4 +202,4 @@ class PeriodicEvent:
         self._callback(fire_time)
 
 
-__all__ = ["Event", "EventQueue", "PeriodicEvent"]
+__all__ = ["Event", "EventCalendar", "EventQueue", "PeriodicEvent"]

@@ -46,6 +46,31 @@ Accounting totals (``idle_us``, ``stolen_dispatch_us``,
 are expressed in CPU-microseconds, so the conservation identity
 ``total_thread_cpu + idle + stolen == n_cpus * now`` holds for every
 CPU count.
+
+Run-to-horizon engine
+---------------------
+Most quanta are boring: the same thread keeps computing, no event is
+due, and the scheduler would re-pick it with no side effects.  With
+``engine="horizon"`` (the default) the kernel proves that cheaply and
+skips the event poll, the pick and (on SMP) the placement round for
+such quanta, re-entering the full machinery only at a *transition*:
+
+* the unified :class:`~repro.sim.events.EventCalendar` says an event
+  (timer, controller tick, workload arrival, sleep/I/O wake-up) or a
+  lazily-merged scheduler wake-up (reservation replenishment) is due;
+* the scheduler's :attr:`~repro.sched.base.Scheduler.state_epoch`
+  moved (a wake, block, exit, actuation or budget exhaustion);
+* the scheduler's declared
+  :meth:`~repro.sched.base.Scheduler.preemption_horizon` is reached (a
+  pick-time side effect such as a period-window roll becomes due);
+* the dispatch ended any way other than slice expiry.
+
+Every quantum still charges the same accounting (dispatch counts,
+overhead accumulators, per-quantum ``Scheduler.charge`` calls, dispatch
+log entries) at the same virtual times, so dispatch logs, trace
+fingerprints, deadline misses and the conservation identity are
+bit-identical to ``engine="quantum"`` — the original quantum-sliced
+loop, kept as the differential-testing oracle.
 """
 
 from __future__ import annotations
@@ -55,7 +80,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional
 from repro.sim.clock import US_PER_SEC, SimClock
 from repro.sim.cpu import CPUModel, CPUState
 from repro.sim.errors import DeadlockError, SimulationError, ThreadStateError
-from repro.sim.events import EventQueue, PeriodicEvent
+from repro.sim.events import EventCalendar, PeriodicEvent
 from repro.sim.requests import (
     AcquireMutex,
     Compute,
@@ -128,7 +153,17 @@ class Kernel:
         ``(time_us, cpu, thread_name, outcome, consumed_us)`` tuple to
         :attr:`dispatch_log` per dispatch — the full scheduling order,
         used by the determinism regression tests.
+    engine:
+        ``"horizon"`` (default) runs the run-to-horizon engine, which
+        batches provably-identical quanta between transitions;
+        ``"quantum"`` runs the original quantum-sliced loop.  The two
+        are bit-identical in every observable (dispatch logs, traces,
+        accounting); ``"quantum"`` is kept as the oracle for the
+        differential test suite.
     """
+
+    #: Engines accepted by the ``engine`` parameter.
+    ENGINES = ("horizon", "quantum")
 
     def __init__(
         self,
@@ -142,6 +177,7 @@ class Kernel:
         deadlock_detection: bool = True,
         syscall_cost_us: int = 1,
         record_dispatches: bool = False,
+        engine: str = "horizon",
     ) -> None:
         if dispatch_interval_us <= 0:
             raise ValueError(
@@ -149,8 +185,18 @@ class Kernel:
             )
         if n_cpus < 1:
             raise ValueError(f"kernel needs at least one CPU, got {n_cpus}")
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {self.ENGINES}"
+            )
+        self.engine = engine
+        self._batch_dispatches = engine == "horizon"
         self.clock = SimClock()
-        self.events = EventQueue()
+        #: The unified event calendar: one lazy min-heap for timers,
+        #: controller ticks, wake-ups and workload arrivals, with the
+        #: scheduler's replenishment times merged in lazily (the
+        #: scheduler source is registered in ``attach`` below).
+        self.events = EventCalendar()
         self.cpu = cpu if cpu is not None else CPUModel()
         self.tracer = tracer if tracer is not None else Tracer()
         self.scheduler = scheduler
@@ -169,6 +215,15 @@ class Kernel:
         self._thread_tids: set[int] = set()
         #: Per-CPU run state; aggregates are exposed as properties.
         self.cpu_states: list[CPUState] = [CPUState(i) for i in range(self.n_cpus)]
+        #: Running totals mirroring the per-CPU fields, maintained at
+        #: every mutation site so the aggregate properties are O(1)
+        #: instead of O(n_cpus) sums (hot in bench reporting and tests).
+        self._idle_us_total = 0
+        self._stolen_dispatch_us_total = 0
+        self._dispatch_count_total = 0
+        #: Scheduler epoch at which the last placement round ran (the
+        #: horizon engine skips provably-identical recomputations).
+        self._placement_epoch: Optional[int] = None
         self.stolen_controller_us = 0
         self.dispatch_log: Optional[list[tuple[int, int, str, str, int]]] = (
             [] if record_dispatches else None
@@ -197,6 +252,20 @@ class Kernel:
         }
 
         scheduler.attach(self)
+        # Merge the scheduler's derived wake-up times (reservation
+        # replenishments) into the calendar; ``next_transition`` then
+        # answers "when can the dispatch decision next change?" from
+        # one place for both the idle fast-forward and the batcher.
+        self.events.add_source(scheduler.next_wakeup)
+        # Skip the per-dispatch on_dispatch call for policies that keep
+        # the base class's no-op hook (resolved once at attach time).
+        from repro.sched.base import Scheduler as _SchedulerBase
+
+        self._on_dispatch: Optional[Callable[[SimThread, int], None]] = (
+            None
+            if type(scheduler).on_dispatch is _SchedulerBase.on_dispatch
+            else scheduler.on_dispatch
+        )
 
     # ------------------------------------------------------------------
     # basic properties
@@ -215,18 +284,18 @@ class Kernel:
 
     @property
     def idle_us(self) -> int:
-        """Total idle time across all CPUs (CPU-microseconds)."""
-        return sum(c.idle_us for c in self.cpu_states)
+        """Total idle time across all CPUs (CPU-microseconds; O(1))."""
+        return self._idle_us_total
 
     @property
     def stolen_dispatch_us(self) -> int:
-        """Dispatch overhead across all CPUs (CPU-microseconds)."""
-        return sum(c.stolen_dispatch_us for c in self.cpu_states)
+        """Dispatch overhead across all CPUs (CPU-microseconds; O(1))."""
+        return self._stolen_dispatch_us_total
 
     @property
     def dispatch_count(self) -> int:
-        """Total dispatches across all CPUs."""
-        return sum(c.dispatches for c in self.cpu_states)
+        """Total dispatches across all CPUs (O(1))."""
+        return self._dispatch_count_total
 
     @property
     def stolen_us(self) -> int:
@@ -298,11 +367,13 @@ class Kernel:
         self._tick(us)
         if reason == "dispatch":
             self.cpu_states[0].stolen_dispatch_us += us
+            self._stolen_dispatch_us_total += us
         else:
             self.stolen_controller_us += us
         if self.n_cpus > 1 and self._now_override is None:
             for cpu in self.cpu_states[1:]:
                 cpu.idle_us += us
+            self._idle_us_total += us * (self.n_cpus - 1)
 
     # ------------------------------------------------------------------
     # time
@@ -339,6 +410,9 @@ class Kernel:
             cpu0 = self.cpu_states[0]
             clock = self.clock
             scheduler = self.scheduler
+            events = self.events
+            batching = self._batch_dispatches
+            preempted = _DispatchOutcome.PREEMPTED
             while clock.now < t_end:
                 self._fire_due_events()
                 now = clock.now
@@ -349,11 +423,48 @@ class Kernel:
                     if not self._advance_idle(t_end):
                         break
                     continue
-                self._dispatch(cpu0, thread, t_end)
+                if not batching:
+                    self._dispatch(cpu0, thread, t_end)
+                    continue
+                # Run-to-horizon: keep re-dispatching the picked thread
+                # while every skipped pick is provably identical — the
+                # slice expired normally, no event or scheduler wake-up
+                # is due, the scheduler state epoch stands still and
+                # the declared preemption horizon is not reached.  Each
+                # quantum still charges full per-dispatch accounting,
+                # so the timeline is bit-identical to the oracle.  The
+                # horizon is only computed once a batch can actually
+                # continue (most dispatches end a batch immediately via
+                # the epoch or the outcome); evaluating it at the
+                # current time is valid — the promise covers picks in
+                # [now, H) and the epoch has not moved since the pick.
+                epoch = scheduler.state_epoch
+                horizon = -1
+                while True:
+                    outcome = self._dispatch(cpu0, thread, t_end)
+                    now = clock.now
+                    if (
+                        outcome != preempted
+                        or now >= t_end
+                        or scheduler.state_epoch != epoch
+                    ):
+                        break
+                    if horizon == -1:
+                        horizon = scheduler.preemption_horizon(now, thread)
+                    if horizon is not None and now >= horizon:
+                        break
+                    next_event = events.next_time()
+                    if next_event is not None and next_event <= now:
+                        break
+                    # The pick being skipped happens *now*, before the
+                    # batched dispatch, so cursor/RNG replays see the
+                    # same scheduler state the oracle's pick saw.
+                    scheduler.note_batched_picks(thread, 1, now)
         else:
-            while self.now < t_end:
+            clock = self.clock
+            while clock.now < t_end:
                 self._fire_due_events()
-                if self.now >= t_end:
+                if clock.now >= t_end:
                     break
                 if not self._dispatch_round(t_end):
                     if not self._advance_idle(t_end):
@@ -370,20 +481,14 @@ class Kernel:
                 event.callback()
 
     def _advance_idle(self, t_end: int) -> bool:
-        """Advance the clock to the next possible wake-up.
+        """Advance the clock to the next calendar transition.
 
         Returns ``False`` when the simulation cannot make further
         progress before ``t_end`` (clock is advanced to ``t_end``).
         All CPUs are idle for the skipped interval.
         """
-        candidates = []
-        next_event = self.events.next_time()
-        if next_event is not None:
-            candidates.append(next_event)
-        next_sched = self.scheduler.next_wakeup(self.now)
-        if next_sched is not None:
-            candidates.append(next_sched)
-        if not candidates:
+        transition = self.events.next_transition(self.now)
+        if transition is None:
             blocked = [
                 t for t in self.live_threads() if t.state == ThreadState.BLOCKED
             ]
@@ -396,7 +501,7 @@ class Kernel:
             self._charge_idle(t_end - self.now)
             self.clock.advance_to(t_end)
             return False
-        target = min(min(candidates), t_end)
+        target = min(transition, t_end)
         if target <= self.now:
             # A wake-up is due immediately (e.g. a throttled reservation
             # replenishes right now); let the caller re-run pick_next.
@@ -410,20 +515,43 @@ class Kernel:
     def _charge_idle(self, us: int) -> None:
         for cpu in self.cpu_states:
             cpu.idle_us += us
+        self._idle_us_total += us * self.n_cpus
 
     # ------------------------------------------------------------------
     # SMP dispatch rounds
     # ------------------------------------------------------------------
     def _dispatch_round(self, t_end: int) -> bool:
-        """Run one parallel dispatch window; ``False`` if nothing ran."""
-        t0 = self.now
+        """Run one parallel dispatch window; ``False`` if nothing ran.
+
+        Under the run-to-horizon engine a completed round is *replayed*
+        — same picks, same placement, full per-CPU dispatch accounting
+        — for as long as the next round's placement and picks are
+        provably identical: the scheduler state epoch did not move
+        during the round, no calendar event or wake-up is due before
+        the round starts, and every picked thread's preemption horizon
+        (period rolls, replenishments) lies beyond it.  Each replayed
+        round re-runs the same window arithmetic, so boundaries, idle
+        top-ups and dispatch-log timestamps match the oracle exactly.
+        """
+        t0 = self.clock.now
         scheduler = self.scheduler
-        cpu_states = self.cpu_states
-        scheduler.place_threads(t0)
+        epoch = scheduler.state_epoch
+        if (
+            not self._batch_dispatches
+            or self._placement_epoch != epoch
+        ):
+            # Placement is a pure function of state covered by the
+            # epoch; while it stands still the cached tid -> CPU map of
+            # the previous round is provably identical, so the horizon
+            # engine skips the recomputation.
+            scheduler.place_threads(t0)
+            self._placement_epoch = epoch
         picks: list[tuple[CPUState, SimThread]] = []
-        for cpu in cpu_states:
+        idle_cpus: list[CPUState] = []
+        for cpu in self.cpu_states:
             thread = scheduler.pick_next_cpu(cpu.index, t0)
             if thread is None:
+                idle_cpus.append(cpu)
                 continue
             # Claim immediately so higher-numbered CPUs cannot pick the
             # same thread within this round.
@@ -431,6 +559,60 @@ class Kernel:
             picks.append((cpu, thread))
         if not picks:
             return False
+        if not self._batch_dispatches:
+            self._run_round(picks, idle_cpus, t_end)
+            return True
+        # The picks themselves may have serviced deferred examinations;
+        # batching is judged against the post-pick state.
+        replay_base = epoch if scheduler.state_epoch == epoch else None
+        epoch = scheduler.state_epoch
+        self._run_round(picks, idle_cpus, t_end)
+        if replay_base is None or scheduler.state_epoch != epoch:
+            # Something moved during (or right before) the round; the
+            # next round's placement or picks may differ.
+            return True
+        clock = self.clock
+        events = self.events
+        running = ThreadState.RUNNING
+        # Horizons are evaluated lazily, only now that a replay is
+        # possible at all; the current scheduler state is the valid
+        # basis (the epoch has not moved since the picks were made).
+        now = clock.now
+        horizon: Optional[int] = None
+        for cpu, thread in picks:
+            h = scheduler.preemption_horizon(now, thread, cpu=cpu.index)
+            if h is None:
+                continue
+            if horizon is None or h < horizon:
+                horizon = h
+            if horizon <= now:
+                return True
+        while True:
+            if scheduler.state_epoch != epoch:
+                break
+            now = clock.now
+            if now >= t_end:
+                break
+            if horizon is not None and now >= horizon:
+                break
+            next_event = events.next_time()
+            if next_event is not None and next_event <= now:
+                break
+            # Re-claim (epoch stability guarantees every picked thread
+            # ended its slice READY) and replay the identical round.
+            for _, thread in picks:
+                thread.state = running
+            self._run_round(picks, idle_cpus, t_end)
+        return True
+
+    def _run_round(
+        self,
+        picks: list[tuple[CPUState, SimThread]],
+        idle_cpus: list[CPUState],
+        t_end: int,
+    ) -> None:
+        """Execute one claimed dispatch round over a shared window."""
+        t0 = self.clock.now
         # All CPUs share one window cap, computed before any slice runs,
         # so the round is symmetric across CPUs: events scheduled by one
         # CPU's slice become visible at the next round boundary.
@@ -451,16 +633,17 @@ class Kernel:
         # CPUs whose thread finished early idle out the rest of the
         # window (timer-quantised re-dispatch, as on the real hardware);
         # CPUs that picked nothing idle the whole window.
+        idle_total = self._idle_us_total
         for (cpu, _), end in zip(picks, ends):
             if end < window_end:
                 cpu.idle_us += window_end - end
-        if len(picks) < len(cpu_states):
-            busy = {cpu.index for cpu, _ in picks}
+                idle_total += window_end - end
+        if idle_cpus:
             span = window_end - t0
-            for cpu in cpu_states:
-                if cpu.index not in busy:
-                    cpu.idle_us += span
-        return True
+            for cpu in idle_cpus:
+                cpu.idle_us += span
+            idle_total += span * len(idle_cpus)
+        self._idle_us_total = idle_total
 
     # ------------------------------------------------------------------
     # dispatch
@@ -476,22 +659,27 @@ class Kernel:
         if not self.charge_dispatch_overhead:
             return 0
         model = self.cpu
-        signature = (
-            self.dispatch_interval_us,
-            model.dispatch_cost_us,
-            model.dispatch_cost_quadratic_us,
-        )
-        if signature != self._dispatch_cost_sig:
+        interval = self.dispatch_interval_us
+        cost = model.dispatch_cost_us
+        quadratic = model.dispatch_cost_quadratic_us
+        signature = self._dispatch_cost_sig
+        if (
+            signature is None
+            or signature[0] != interval
+            or signature[1] != cost
+            or signature[2] != quadratic
+        ):
             self._dispatch_cost_us = model.effective_dispatch_cost_us(
-                US_PER_SEC / signature[0]
+                US_PER_SEC / interval
             )
-            self._dispatch_cost_sig = signature
+            self._dispatch_cost_sig = (interval, cost, quadratic)
         cpu.overhead_accumulator += self._dispatch_cost_us
         whole = int(cpu.overhead_accumulator)
         if whole > 0:
             cpu.overhead_accumulator -= whole
             self._tick(whole)
             cpu.stolen_dispatch_us += whole
+            self._stolen_dispatch_us_total += whole
             return whole
         return 0
 
@@ -501,14 +689,22 @@ class Kernel:
         thread: SimThread,
         t_end: int,
         window_cap: Optional[int] = None,
-    ) -> None:
-        # ``now`` mirrors self.now locally: only _tick advances time
-        # inside a slice (request handlers set states and schedule
-        # events but never tick), so the mirror stays exact and saves a
-        # property read per loop step.
-        now = self.now
+    ) -> str:
+        """Run one dispatch of ``thread`` on ``cpu``; returns the outcome.
+
+        ``now`` mirrors self.now locally: only time charges advance the
+        clock inside a slice (request handlers set states and schedule
+        events but never tick), so the mirror stays exact.  The mirror
+        is written back to the live clock before every request handler
+        (handlers timestamp IPC commits and wake-ups with ``self.now``)
+        and naturally at every charge.
+        """
+        override = self._now_override is not None
+        clock = self.clock
+        now = self._now_override if override else clock._now
         dispatch_start = now
         cpu.dispatches += 1
+        self._dispatch_count_total += 1
         now += self._charge_dispatch_overhead(cpu)
 
         scheduler = self.scheduler
@@ -516,50 +712,65 @@ class Kernel:
         thread.state = ThreadState.RUNNING
         accounting.dispatches += 1
         accounting.last_run_started = now
-        scheduler.on_dispatch(thread, now)
+        on_dispatch = self._on_dispatch
+        if on_dispatch is not None:
+            on_dispatch(thread, now)
 
         slice_us = scheduler.time_slice(thread, now)
         if slice_us <= 0:
             slice_us = self.dispatch_interval_us
-        horizon = min(now + slice_us, t_end)
+        horizon = now + slice_us
+        if t_end < horizon:
+            horizon = t_end
         if window_cap is not None:
             # SMP round: the shared window cap already folds in the next
             # pending event (computed once at round start, for symmetry).
-            horizon = min(horizon, window_cap)
+            if window_cap < horizon:
+                horizon = window_cap
         else:
             next_event = self.events.next_time()
-            if next_event is not None:
-                horizon = min(horizon, next_event)
+            if next_event is not None and next_event < horizon:
+                horizon = next_event
 
         consumed = 0
         syscall_cost = self.syscall_cost_us
         outcome = _DispatchOutcome.PREEMPTED
         while now < horizon:
-            request = thread.current_request()
+            request = thread._current_request
             if request is None:
                 request = self._next_request(thread)
                 if request is None:
                     outcome = _DispatchOutcome.EXITED
                     break
             if isinstance(request, Compute):
-                remaining = thread.remaining_compute_us
+                remaining = thread._remaining_compute_us
                 if remaining > 0:
-                    step = min(horizon - now, remaining)
-                    thread.consume_compute(step)
-                    self._tick(step)
+                    step = horizon - now
+                    if remaining < step:
+                        step = remaining
+                    thread._remaining_compute_us = remaining - step
                     now += step
                     consumed += step
-                if thread.remaining_compute_us == 0:
-                    thread.finish_request()
+                    if override:
+                        self._now_override = now
+                    else:
+                        clock._now = now
+                if thread._remaining_compute_us == 0:
+                    thread._current_request = None
                 continue
             # Non-compute requests carry a small syscall cost; charging
             # it before handling also guarantees forward progress for
             # threads that never yield a Compute request.
             if syscall_cost > 0:
-                step = min(horizon - now, syscall_cost)
-                self._tick(step)
+                step = horizon - now
+                if syscall_cost < step:
+                    step = syscall_cost
                 now += step
                 consumed += step
+                if override:
+                    self._now_override = now
+                else:
+                    clock._now = now
                 if step < syscall_cost:
                     # Not enough slice left to pay for the syscall; the
                     # request stays pending for the next dispatch.
@@ -569,13 +780,22 @@ class Kernel:
                 break
             outcome = _DispatchOutcome.PREEMPTED
 
-        accounting.charge(consumed)
-        scheduler.charge(thread, consumed, self.now)
-        self._finish_dispatch(thread, outcome)
+        accounting.total_us += consumed
+        accounting.run_since_last_block_us += consumed
+        scheduler.charge(thread, consumed, now)
+        if outcome == "preempted":
+            # _finish_dispatch's preempted arm, inlined (the common
+            # outcome: ran out of slice or an event is due).
+            accounting.preemptions += 1
+            thread.state = ThreadState.READY
+            scheduler.on_preempt(thread, now)
+        else:
+            self._finish_dispatch(thread, outcome)
         if self.dispatch_log is not None:
             self.dispatch_log.append(
                 (dispatch_start, cpu.index, thread.name, outcome, consumed)
             )
+        return outcome
 
     def _finish_dispatch(self, thread: SimThread, outcome: str) -> None:
         acct = thread.accounting

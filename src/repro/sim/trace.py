@@ -10,6 +10,7 @@ simulation run; the analysis package turns them into the figures.
 from __future__ import annotations
 
 import hashlib
+from bisect import bisect_left, bisect_right
 from collections import defaultdict
 from typing import Callable, Iterable, NamedTuple, Optional
 
@@ -34,73 +35,88 @@ class TracePoint(NamedTuple):
 
 
 class TraceSeries:
-    """An append-only, time-ordered series of samples."""
+    """An append-only, time-ordered series of samples.
+
+    Samples are stored as two parallel lists (times and values) and
+    materialised into :class:`TracePoint` tuples on access: controller
+    tracing appends one sample per decision per tick, so the append
+    path must be two list appends, not a namedtuple construction.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._points: list[TracePoint] = []
+        self._times: list[int] = []
+        self._values: list[float] = []
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._times)
 
     def __iter__(self):
-        return iter(self._points)
+        return map(TracePoint, self._times, self._values)
 
     def __getitem__(self, index: int) -> TracePoint:
-        return self._points[index]
+        if isinstance(index, slice):
+            return [
+                TracePoint(t, v)
+                for t, v in zip(self._times[index], self._values[index])
+            ]
+        return TracePoint(self._times[index], self._values[index])
 
     def append(self, time_us: int, value: float) -> None:
         """Append a sample; time must be non-decreasing."""
-        points = self._points
-        if points and time_us < points[-1].time_us:
+        times = self._times
+        if times and time_us < times[-1]:
             raise ValueError(
                 f"series {self.name!r}: sample at {time_us}us is earlier than "
-                f"previous sample at {points[-1].time_us}us"
+                f"previous sample at {times[-1]}us"
             )
-        points.append(TracePoint(int(time_us), float(value)))
+        times.append(int(time_us))
+        self._values.append(float(value))
 
     def times(self) -> list[int]:
         """All sample times in microseconds."""
-        return [p.time_us for p in self._points]
+        return list(self._times)
 
     def times_s(self) -> list[float]:
         """All sample times in seconds."""
-        return [p.time_s for p in self._points]
+        return [to_seconds(t) for t in self._times]
 
     def values(self) -> list[float]:
         """All sample values."""
-        return [p.value for p in self._points]
+        return list(self._values)
 
     def last(self) -> Optional[TracePoint]:
         """The most recent sample, or ``None`` if empty."""
-        return self._points[-1] if self._points else None
+        if not self._times:
+            return None
+        return TracePoint(self._times[-1], self._values[-1])
 
     def value_at(self, time_us: int) -> float:
         """Value of the most recent sample at or before ``time_us``.
 
         Raises ``ValueError`` if no sample exists that early.
         """
-        candidate: Optional[TracePoint] = None
-        for point in self._points:
-            if point.time_us <= time_us:
-                candidate = point
-            else:
-                break
-        if candidate is None:
+        times = self._times
+        index = bisect_right(times, time_us) - 1
+        if index < 0:
             raise ValueError(
                 f"series {self.name!r} has no sample at or before {time_us}us"
             )
-        return candidate.value
+        return self._values[index]
 
     def window(self, start_us: int, end_us: int) -> list[TracePoint]:
         """Samples with ``start_us <= time < end_us``."""
-        return [p for p in self._points if start_us <= p.time_us < end_us]
+        times = self._times
+        lo = bisect_left(times, start_us)
+        hi = bisect_left(times, end_us)
+        values = self._values
+        return [TracePoint(times[i], values[i]) for i in range(lo, hi)]
 
     def mean(self) -> float:
         """Arithmetic mean of the values (0.0 for an empty series)."""
-        if not self._points:
+        if not self._values:
             return 0.0
-        return sum(p.value for p in self._points) / len(self._points)
+        return sum(self._values) / len(self._values)
 
 
 class Tracer:

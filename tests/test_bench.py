@@ -146,3 +146,138 @@ def test_quick_json_defaults_away_from_tracked_baseline(
     assert (tmp_path / "BENCH_kernel.json").read_text() == "tracked baseline"
     artifact = json.loads((tmp_path / "BENCH_kernel.quick.json").read_text())
     assert artifact["quick"] is True
+
+
+class TestCompareAndHistory:
+    def _results(self):
+        return [run_scenario(BENCH_REGISTRY["overload64"], quick=True,
+                             repeats=1)]
+
+    def test_compare_detects_regression_and_pass(self, tmp_path):
+        from repro.bench import (
+            compare_to_baseline,
+            format_compare_table,
+            load_bench_artifact,
+        )
+
+        results = self._results()
+        fresh = results[0].sim_us_per_wall_s
+        baseline = bench_to_dict(results, quick=True, repeats=1)
+        # Identical numbers: never a regression.
+        comparisons = compare_to_baseline(results, baseline, threshold=0.25)
+        (c,) = comparisons
+        assert c.ratio == pytest.approx(1.0)
+        assert not c.regressed
+        # Inflate the baseline so the fresh run looks 10x slower.
+        baseline["scenarios"][0]["sim_us_per_wall_s"] = fresh * 10
+        (c,) = compare_to_baseline(results, baseline, threshold=0.25)
+        assert c.regressed
+        table = format_compare_table([c])
+        assert "REGRESSED" in table
+        # Round-trip through a file, as the CLI does.
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        loaded = load_bench_artifact(str(path))
+        (c,) = compare_to_baseline(results, loaded, threshold=0.25)
+        assert c.regressed
+
+    def test_compare_without_matching_scenario_is_informational(self):
+        from repro.bench import compare_to_baseline
+
+        results = self._results()
+        baseline = bench_to_dict(results, quick=True, repeats=1)
+        baseline["scenarios"][0]["name"] = "something_else"
+        (c,) = compare_to_baseline(results, baseline)
+        assert c.ratio is None
+        assert not c.regressed
+
+    def test_compare_rejects_bad_baselines(self, tmp_path):
+        from repro.bench import compare_to_baseline, load_bench_artifact
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BenchError, match="not valid JSON"):
+            load_bench_artifact(str(bad))
+        with pytest.raises(BenchError, match="cannot read"):
+            load_bench_artifact(str(tmp_path / "missing.json"))
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"kind": "experiment"}))
+        with pytest.raises(BenchError, match="not a bench artifact"):
+            load_bench_artifact(str(wrong))
+        results = self._results()
+        baseline = bench_to_dict(results, quick=True, repeats=1)
+        with pytest.raises(BenchError, match="threshold"):
+            compare_to_baseline(results, baseline, threshold=1.5)
+
+    def test_history_line_and_append(self, tmp_path):
+        from repro.bench import append_history, history_line
+
+        results = self._results()
+        record = history_line(results, quick=False, repeats=1)
+        assert record["kind"] == "bench_history"
+        assert "overload64" in record["scenarios"]
+        assert record["scenarios"]["overload64"] > 0
+        assert record["git_sha"]
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(results, str(path), quick=False, repeats=1)
+        append_history(results, str(path), quick=False, repeats=1)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            parsed = json.loads(line)
+            assert parsed["kind"] == "bench_history"
+
+
+class TestCompareCli:
+    def _shrink(self, monkeypatch, name="overload64"):
+        scenario = BENCH_REGISTRY[name]
+        monkeypatch.setitem(
+            BENCH_REGISTRY,
+            name,
+            dataclasses.replace(scenario, quick_sim_us=TINY_US),
+        )
+
+    def test_cli_compare_pass_and_fail(self, tmp_path, monkeypatch, capsys):
+        self._shrink(monkeypatch)
+        # Build a baseline artifact from a real quick run.
+        results = [run_scenario(BENCH_REGISTRY["overload64"], quick=True,
+                                repeats=1)]
+        baseline = bench_to_dict(results, quick=True, repeats=1)
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(baseline))
+        code = main(["bench", "overload64", "--quick", "--repeats", "1",
+                     "--compare", str(base_path), "--threshold", "0.99"])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+        # An impossibly fast baseline forces the regression exit.
+        baseline["scenarios"][0]["sim_us_per_wall_s"] = 1e15
+        base_path.write_text(json.dumps(baseline))
+        code = main(["bench", "overload64", "--quick", "--repeats", "1",
+                     "--compare", str(base_path), "--threshold", "0.25"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "perf regression" in out
+
+    def test_cli_nonquick_appends_history(self, tmp_path, monkeypatch, capsys):
+        scenario = BENCH_REGISTRY["overload64"]
+        monkeypatch.setitem(
+            BENCH_REGISTRY,
+            "overload64",
+            dataclasses.replace(scenario, sim_us=TINY_US),
+        )
+        history = tmp_path / "hist.jsonl"
+        code = main(["bench", "overload64", "--repeats", "1",
+                     "--history", str(history)])
+        assert code == 0
+        (line,) = history.read_text().splitlines()
+        assert json.loads(line)["scenarios"]["overload64"] > 0
+        # --no-history suppresses the append.
+        code = main(["bench", "overload64", "--repeats", "1",
+                     "--history", str(history), "--no-history"])
+        assert code == 0
+        assert len(history.read_text().splitlines()) == 1
+
+    def test_compare_flag_swallowing_scenario_name_is_caught(self, capsys):
+        assert main(["bench", "--compare", "overload64"]) == 2
+        err = capsys.readouterr().err
+        assert "overload64" in err and "--compare" in err

@@ -1,6 +1,8 @@
 """Unit tests for the proportion estimator (Figure 4) and period heuristic."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import ControllerConfig
 from repro.core.estimator import ProportionEstimator
@@ -195,3 +197,62 @@ class TestPeriodEstimator:
             config, dispatch_interval_us=1_000, initial_period_us=42_000
         )
         assert estimator.period_us == 42_000
+
+
+class TestEstimateTickEquivalence:
+    """The fused controller fast path (estimate_tick) must be
+    bit-identical to estimate() — same outputs, same internal state —
+    over arbitrary histories, since the production controller runs only
+    the fused copy while the unfused one remains the readable spec."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=-2.0, max_value=2.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                st.integers(min_value=0, max_value=20_000),   # used_us
+                st.integers(min_value=0, max_value=20_000),   # interval_us
+                st.integers(min_value=0, max_value=1_000),    # current_ppt
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_fused_path_is_bit_identical(self, steps):
+        config = ControllerConfig()
+        dt = config.controller_period_s
+        unfused = ProportionEstimator(config)
+        fused = ProportionEstimator(config)
+        for pressure, used, interval, current_ppt in steps:
+            allocated = interval * current_ppt // 1000
+            reference = unfused.estimate(
+                pressure,
+                UsageSample(
+                    used_us=used, interval_us=interval, allocated_us=allocated
+                ),
+                current_ppt,
+                dt,
+            )
+            desired, cumulative, reclaimed = fused.estimate_tick(
+                pressure, used, interval, allocated, current_ppt, dt
+            )
+            assert desired == reference.desired_ppt
+            assert cumulative == reference.cumulative_pressure
+            assert reclaimed == reference.reclaimed
+            # Internal state must track exactly, or later steps drift.
+            assert fused.pid.integral_value == unfused.pid.integral_value
+            assert fused.pid.last_output == unfused.pid.last_output
+            assert fused.pid.last_error == unfused.pid.last_error
+            assert fused.pid.steps == unfused.pid.steps
+            assert fused._usage_ratio_ema == unfused._usage_ratio_ema
+            assert fused._used_fraction_ema == unfused._used_fraction_ema
+            assert fused.reclaim_count == unfused.reclaim_count
+            assert fused.last_desired_ppt == unfused.last_desired_ppt
+
+    def test_fused_path_rejects_bad_dt(self):
+        estimator = ProportionEstimator(ControllerConfig())
+        with pytest.raises(ValueError, match="dt must be positive"):
+            estimator.estimate_tick(0.1, 0, 0, 0, 0, 0.0)

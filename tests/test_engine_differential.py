@@ -1,0 +1,352 @@
+"""Differential tests: run-to-horizon engine vs the quantum-sliced oracle.
+
+The run-to-horizon engine (``Kernel(engine="horizon")``, the default)
+may only skip machinery — event polls, picks, placement rounds — whose
+re-execution is provably a no-op.  Everything observable must stay
+**bit-identical** to the original quantum-sliced loop, which is kept in
+the kernel as ``engine="quantum"`` exactly for this purpose:
+
+* the full dispatch log — every ``(time, cpu, thread, outcome,
+  consumed)`` tuple, in order;
+* trace fingerprints (controller allocations, pressures, samplers);
+* per-thread accounting and per-CPU idle/stolen/dispatch totals;
+* deadline-miss counts of the reservation scheduler;
+* the conservation identity
+  ``total_thread_cpu + idle + stolen == n_cpus * now``.
+
+Hypothesis drives randomized workloads — compute hogs, sleepers,
+simulated I/O, producer/consumer pairs over bounded buffers, exiting
+threads, reservation churn — on 1 and 4 CPUs, through both engines,
+and compares everything.  The baseline schedulers (round-robin,
+priority, lottery, goodness) get their own differential runs because
+their batching replays pick-time state (cursors, RNG draws) that the
+reservation scheduler does not exercise.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipc.bounded_buffer import BoundedBuffer
+from repro.sched.goodness import LinuxGoodnessScheduler
+from repro.sched.lottery import LotteryScheduler
+from repro.sched.priority import FixedPriorityScheduler
+from repro.sched.rbs import ReservationScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.requests import Compute, Get, Put, Sleep, WaitIO, Yield
+from repro.system import build_real_rate_system
+from repro.workloads.cpu_hog import CpuHog
+from repro.workloads.webserver import WebServer
+
+
+# ----------------------------------------------------------------------
+# deterministic thread bodies
+# ----------------------------------------------------------------------
+def hog_body(burst_us):
+    def body(env):
+        while True:
+            yield Compute(burst_us)
+
+    return body
+
+
+def sleeper_body(burst_us, sleep_us):
+    def body(env):
+        while True:
+            yield Compute(burst_us)
+            yield Sleep(sleep_us)
+
+    return body
+
+
+def io_body(burst_us, latency_us):
+    def body(env):
+        while True:
+            yield Compute(burst_us)
+            yield WaitIO(latency_us, tag="disk")
+
+    return body
+
+
+def yielder_body(burst_us):
+    def body(env):
+        while True:
+            yield Compute(burst_us)
+            yield Yield()
+
+    return body
+
+
+def finite_body(burst_us, repeats):
+    def body(env):
+        for _ in range(repeats):
+            yield Compute(burst_us)
+
+    return body
+
+
+def producer_body(channel, burst_us, nbytes):
+    def body(env):
+        while True:
+            yield Compute(burst_us)
+            yield Put(channel, nbytes)
+
+    return body
+
+
+def consumer_body(channel, burst_us, nbytes):
+    def body(env):
+        while True:
+            yield Get(channel, nbytes)
+            yield Compute(burst_us)
+
+    return body
+
+
+# ----------------------------------------------------------------------
+# observation and comparison
+# ----------------------------------------------------------------------
+def observe(kernel, scheduler=None):
+    """Everything the engines must agree on, as one comparable tuple."""
+    accounting = {
+        t.name: (
+            t.accounting.total_us,
+            t.accounting.dispatches,
+            t.accounting.preemptions,
+            t.accounting.voluntary_switches,
+            t.accounting.blocks,
+            t.accounting.sleeps,
+            t.state.value,
+        )
+        for t in kernel.threads
+    }
+    totals = (
+        kernel.now,
+        kernel.idle_us,
+        kernel.stolen_dispatch_us,
+        kernel.stolen_controller_us,
+        kernel.dispatch_count,
+        tuple(
+            (c.idle_us, c.stolen_dispatch_us, c.dispatches)
+            for c in kernel.cpu_states
+        ),
+    )
+    misses = (
+        scheduler.deadline_misses()
+        if isinstance(scheduler, ReservationScheduler)
+        else None
+    )
+    return (
+        kernel.tracer.fingerprint(),
+        tuple(kernel.dispatch_log),
+        accounting,
+        totals,
+        misses,
+    )
+
+
+def assert_conserved(kernel):
+    assert (
+        kernel.total_thread_cpu_us() + kernel.idle_us + kernel.stolen_us
+        == kernel.capacity_us()
+    ), "conservation identity violated"
+
+
+def assert_engines_agree(build, duration_us):
+    """Run ``build(engine)`` under both engines and compare everything."""
+    observations = {}
+    for engine in ("quantum", "horizon"):
+        kernel, scheduler = build(engine)
+        kernel.run_for(duration_us)
+        assert_conserved(kernel)
+        observations[engine] = observe(kernel, scheduler)
+    quantum, horizon = observations["quantum"], observations["horizon"]
+    assert horizon[0] == quantum[0], "trace fingerprints diverged"
+    if horizon[1] != quantum[1]:
+        for index, (h, q) in enumerate(zip(horizon[1], quantum[1])):
+            assert h == q, f"dispatch log diverged at entry {index}: {h} != {q}"
+        assert len(horizon[1]) == len(quantum[1]), "dispatch log length diverged"
+    assert horizon[2] == quantum[2], "per-thread accounting diverged"
+    assert horizon[3] == quantum[3], "kernel totals diverged"
+    assert horizon[4] == quantum[4], "deadline misses diverged"
+
+
+# ----------------------------------------------------------------------
+# randomized RBS workloads (the default substrate)
+# ----------------------------------------------------------------------
+thread_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["hog", "sleeper", "io", "yielder", "finite"]),
+        st.integers(min_value=50, max_value=7_000),    # burst
+        st.integers(min_value=100, max_value=20_000),  # sleep/latency/repeats
+        # Reservation: None (best effort) or (ppt, period).
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.integers(min_value=10, max_value=600),
+                st.sampled_from([5_000, 10_000, 20_000, 30_000]),
+            ),
+        ),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@pytest.mark.parametrize("n_cpus", [1, 4])
+@settings(max_examples=20, deadline=None)
+@given(specs=thread_specs, pairs=st.integers(min_value=0, max_value=2))
+def test_rbs_workloads_bit_identical(n_cpus, specs, pairs):
+    def build(engine):
+        scheduler = ReservationScheduler()
+        kernel = Kernel(
+            scheduler, n_cpus=n_cpus, record_dispatches=True, engine=engine
+        )
+        for index, (kind, burst, aux, reservation) in enumerate(specs):
+            if kind == "hog":
+                body = hog_body(burst)
+            elif kind == "sleeper":
+                body = sleeper_body(burst, aux)
+            elif kind == "io":
+                body = io_body(burst, aux)
+            elif kind == "yielder":
+                body = yielder_body(burst)
+            else:
+                body = finite_body(burst, max(1, aux // 1_000))
+            thread = kernel.spawn(f"t{index}.{kind}", body)
+            if reservation is not None:
+                scheduler.set_reservation(thread, *reservation)
+        for pair in range(pairs):
+            channel = BoundedBuffer(f"q{pair}", 4_096)
+            producer = kernel.spawn(
+                f"p{pair}", producer_body(channel, 300 + 137 * pair, 512)
+            )
+            kernel.spawn(f"c{pair}", consumer_body(channel, 900, 512))
+            scheduler.set_reservation(producer, 100, 10_000)
+        return kernel, scheduler
+
+    assert_engines_agree(build, 120_000)
+
+
+# ----------------------------------------------------------------------
+# controller churn (actuation every tick, squishing, replenishments)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_cpus", [1, 4])
+@settings(max_examples=8, deadline=None)
+@given(
+    n_hogs=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+    rps=st.sampled_from([120.0, 250.0, 400.0]),
+)
+def test_controller_churn_bit_identical(n_cpus, n_hogs, seed, rps):
+    def build(engine):
+        system = build_real_rate_system(
+            n_cpus=n_cpus, record_dispatches=True, engine=engine
+        )
+        WebServer.attach(
+            system, requests_per_second=rps, service_cpu_us=1_100, seed=seed
+        )
+        for index in range(n_hogs):
+            CpuHog.attach(
+                system,
+                name=f"hog{index}",
+                burst_us=2_000 + 500 * index,
+                seed=seed + index,
+            )
+        return system.kernel, system.scheduler
+
+    assert_engines_agree(build, 150_000)
+
+
+# ----------------------------------------------------------------------
+# baseline schedulers: cursor / RNG / counter replay under batching
+# ----------------------------------------------------------------------
+def _baseline_schedulers():
+    return [
+        ("round_robin", lambda: RoundRobinScheduler()),
+        ("priority", lambda: FixedPriorityScheduler()),
+        ("priority_pi", lambda: FixedPriorityScheduler(priority_inheritance=True)),
+        ("lottery", lambda: LotteryScheduler(seed=7)),
+        ("goodness", lambda: LinuxGoodnessScheduler()),
+    ]
+
+
+@pytest.mark.parametrize("name,factory", _baseline_schedulers())
+@settings(max_examples=10, deadline=None)
+@given(
+    burst=st.integers(min_value=200, max_value=6_000),
+    sleep_us=st.integers(min_value=500, max_value=15_000),
+    extra_priority=st.integers(min_value=-3, max_value=3),
+)
+def test_baseline_schedulers_bit_identical(name, factory, burst, sleep_us,
+                                           extra_priority):
+    """Sole-runnable stretches engage batching; wake-ups then make the
+    replayed cursor parity / RNG stream / goodness counters observable
+    in the subsequent multi-candidate picks."""
+
+    def build(engine):
+        scheduler = factory()
+        kernel = Kernel(scheduler, record_dispatches=True, engine=engine)
+        kernel.spawn("hog", hog_body(burst), priority=1, nice=0, tickets=150)
+        kernel.spawn(
+            "sleeper",
+            sleeper_body(burst // 2 + 1, sleep_us),
+            priority=1 + extra_priority,
+            nice=5,
+            tickets=50,
+        )
+        kernel.spawn("finite", finite_body(burst, 3), priority=1, tickets=25)
+        return kernel, scheduler
+
+    assert_engines_agree(build, 100_000)
+
+
+def test_engine_parameter_validation():
+    with pytest.raises(ValueError, match="unknown engine"):
+        Kernel(RoundRobinScheduler(), engine="warp")
+
+
+def test_default_engine_is_horizon():
+    kernel = Kernel(RoundRobinScheduler())
+    assert kernel.engine == "horizon"
+    oracle = Kernel(RoundRobinScheduler(), engine="quantum")
+    assert oracle.engine == "quantum"
+
+
+# ----------------------------------------------------------------------
+# conservation identity under event-driven advancement
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_cpus", [1, 4])
+@settings(max_examples=15, deadline=None)
+@given(
+    specs=thread_specs,
+    checkpoints=st.lists(
+        st.integers(min_value=1_000, max_value=60_000), min_size=1, max_size=4
+    ),
+)
+def test_conservation_holds_at_every_checkpoint(n_cpus, specs, checkpoints):
+    """The identity must hold at arbitrary stopping points, not just at
+    the end of a run — the horizon engine's batches and idle jumps must
+    never smear time across a ``run_until`` boundary."""
+    scheduler = ReservationScheduler()
+    kernel = Kernel(scheduler, n_cpus=n_cpus, engine="horizon")
+    for index, (kind, burst, aux, reservation) in enumerate(specs):
+        if kind == "hog":
+            body = hog_body(burst)
+        elif kind == "sleeper":
+            body = sleeper_body(burst, aux)
+        elif kind == "io":
+            body = io_body(burst, aux)
+        elif kind == "yielder":
+            body = yielder_body(burst)
+        else:
+            body = finite_body(burst, max(1, aux // 1_000))
+        thread = kernel.spawn(f"t{index}.{kind}", body)
+        if reservation is not None:
+            scheduler.set_reservation(thread, *reservation)
+    for step in checkpoints:
+        kernel.run_for(step)
+        assert_conserved(kernel)
