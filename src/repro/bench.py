@@ -238,9 +238,68 @@ def _build_pipeline(sim_us: int) -> Callable[[], object]:
     return run
 
 
+@bench_scenario(
+    name="churn1k",
+    description="Open-system churn: ~1400 arriving/exiting job lifetimes",
+    sim_us=2_000_000,
+    quick_sim_us=200_000,
+    tags=("uniprocessor", "churn", "scheduler"),
+)
+def _build_churn1k(sim_us: int) -> Callable[[], object]:
+    """Arrival-driven thread churn through the dispatcher hot paths.
+
+    Two open streams feed a bare reservation scheduler: Poisson
+    best-effort jobs and deterministic reserved jobs, each a finite
+    compute/sleep demand.  Every lifetime exercises mid-run spawn
+    (scheduler add + epoch bump), finite-job exit (remove + reclaim)
+    and the calendar's arrival events — the churn contract the horizon
+    engine must keep proving.  The full run completes well over 1000
+    thread lifetimes.
+    """
+    from repro.sched.rbs import ReservationScheduler
+    from repro.sim.kernel import Kernel
+    from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+    from repro.workloads.engine import JobTemplate, WorkloadEngine
+
+    scheduler = ReservationScheduler()
+    kernel = Kernel(scheduler)
+    churn = WorkloadEngine(kernel)
+    churn.add_stream(
+        "misc",
+        PoissonArrivals(450.0, seed=41),
+        JobTemplate("misc", total_cpu_us=1_200, burst_us=600, think_us=500),
+    )
+    churn.add_stream(
+        "rt",
+        DeterministicArrivals(4_000),
+        JobTemplate(
+            "rt", total_cpu_us=800, burst_us=400, think_us=300,
+            reservation=(50, 10_000),
+        ),
+    )
+    churn.start()
+
+    def run() -> object:
+        kernel.run_for(sim_us)
+        return kernel
+
+    return run
+
+
 # ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------
+def _completed_lifetimes(kernel: object) -> int:
+    """Threads of ``kernel`` that have fully exited (churn scenarios)."""
+    from repro.sim.thread import ThreadState
+
+    threads = getattr(kernel, "threads", None)
+    if not threads:
+        return 0
+    exited = ThreadState.EXITED
+    return sum(1 for thread in threads if thread.state is exited)
+
+
 @dataclass
 class BenchResult:
     """Timing of one scenario: min-of-``repeats`` wall seconds."""
@@ -252,6 +311,13 @@ class BenchResult:
     wall_s: list[float] = field(default_factory=list)
     dispatches: int = 0
     n_threads: int = 0
+    #: Kernel time-advancement engine the scenario ran under, so
+    #: quantum-vs-horizon throughput stays distinguishable in the
+    #: artifact and the perf trajectory.
+    engine: str = ""
+    #: Thread lifetimes that ran to completion (exited threads) — the
+    #: churn scenarios' headline count.
+    threads_completed: int = 0
 
     @property
     def wall_s_min(self) -> float:
@@ -276,6 +342,8 @@ class BenchResult:
             "sim_us_per_wall_s": round(self.sim_us_per_wall_s, 1),
             "dispatches": self.dispatches,
             "n_threads": self.n_threads,
+            "engine": self.engine,
+            "threads_completed": self.threads_completed,
         }
 
 
@@ -299,6 +367,8 @@ def run_scenario(
         result.wall_s.append(time.perf_counter() - start)
         result.dispatches = getattr(kernel, "dispatch_count", 0)
         result.n_threads = len(getattr(kernel, "threads", ()))
+        result.engine = getattr(kernel, "engine", "")
+        result.threads_completed = _completed_lifetimes(kernel)
     return result
 
 
@@ -489,6 +559,10 @@ def history_line(
             result.name: round(result.sim_us_per_wall_s, 1)
             for result in results
         },
+        # Which kernel time-advancement engine each scenario ran under:
+        # without this the trajectory cannot tell a horizon-engine run
+        # from the quantum oracle.
+        "engines": {result.name: result.engine for result in results},
     }
 
 

@@ -33,6 +33,7 @@ writes the schema-versioned perf artifact::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -186,6 +187,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro import golden
+
+    if args.path is None:
+        args.path = golden.DEFAULT_CORPUS_PATH
+    if args.regen:
+        try:
+            corpus = golden.write_corpus(args.path)
+        except OSError as error:
+            print(
+                f"error: cannot write corpus {args.path!r}: {error} "
+                f"(run from the repository root, or pass --path)",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"regenerated {args.path}: {len(corpus['entries'])} entries "
+            f"({len(golden.GOLDEN_SCHEDULERS)} schedulers x "
+            f"{len(golden.GOLDEN_ENGINES)} engines x "
+            f"{len(golden.GOLDEN_CPU_COUNTS)} CPU counts)"
+        )
+        return 0
+    try:
+        corpus = golden.load_corpus(args.path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: cannot load corpus {args.path!r}: {error}",
+              file=sys.stderr)
+        return 2
+    mismatches = golden.verify_corpus(corpus)
+    if mismatches:
+        for message in mismatches:
+            print(f"golden mismatch: {message}", file=sys.stderr)
+        print(
+            f"{len(mismatches)} golden-trace mismatch(es) vs {args.path}; "
+            f"if the behaviour change is intentional, refresh with "
+            f"`python -m repro golden --regen`",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"golden corpus ok: {len(corpus['entries'])} entries conform "
+        f"({args.path})"
+    )
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.list:
         width = max(len(name) for name in BENCH_REGISTRY)
@@ -314,6 +361,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = run in-process; default 1)",
     )
     p_sweep.set_defaults(handler=_cmd_sweep)
+
+    p_golden = sub.add_parser(
+        "golden",
+        help="verify (or --regen) the golden-trace conformance corpus",
+    )
+    p_golden.add_argument(
+        "--regen", action="store_true",
+        help="re-run the matrix and rewrite the corpus file",
+    )
+    p_golden.add_argument(
+        "--path", default=None,
+        help="corpus file (default: tests/golden/churn_smoke.json)",
+    )
+    p_golden.set_defaults(handler=_cmd_golden)
 
     p_bench = sub.add_parser(
         "bench", help="time the macro perf scenarios (repro.bench)"

@@ -182,6 +182,38 @@ class ProportionAllocator:
             period = spec.period_us or self.config.default_period_us
             self._actuate(state, spec.proportion_ppt, period)
 
+    def would_admit(
+        self,
+        proportion_ppt: int,
+        *,
+        affinity: Optional[int] = None,
+        name: str = "<candidate>",
+    ) -> bool:
+        """Whether a real-time reservation of ``proportion_ppt`` would
+        pass admission control right now.
+
+        The open-system workload engine's admission-on-arrival check:
+        the same partitioned-schedulability test :meth:`register` runs
+        (so a ``True`` answer guarantees the immediately following
+        ``register`` succeeds — the simulation is single-threaded), but
+        returning a verdict instead of raising, so a rejected arrival
+        is an expected outcome, not an exception.  Capacity freed by an
+        exited job is visible immediately: the test only counts *live*
+        real-time reservations.
+        """
+        try:
+            check_admission_smp(
+                self.config,
+                self._real_time_reservations(),
+                proportion_ppt,
+                affinity,
+                name,
+                n_cpus=self.capacity_cpus,
+            )
+        except AdmissionError:
+            return False
+        return True
+
     def unregister(self, thread: SimThread) -> None:
         """Remove ``thread`` from control (its reservation is cleared)."""
         state = self._controlled.pop(thread.tid, None)

@@ -5,8 +5,9 @@ ablation experiments.  Every driver declares itself to the registry
 with the :func:`repro.experiments.registry.experiment` decorator,
 producing an :class:`~repro.experiments.registry.ExperimentSpec` —
 name, description, typed parameter schema with defaults and bounds,
-and quick-mode overrides.  Importing this package registers all ten
-experiments; enumerate and run them through
+and quick-mode overrides.  Importing this package registers every
+experiment (the ten paper reproductions/ablations plus the open-system
+churn scenarios); enumerate and run them through
 :data:`~repro.experiments.registry.REGISTRY` or the ``python -m repro``
 command line (``list`` / ``describe`` / ``run`` / ``sweep``).
 
@@ -33,6 +34,13 @@ from repro.experiments.ablation_pid import ablation_pid_experiment, run_ablation
 from repro.experiments.ablation_squish import (
     ablation_squish_experiment,
     run_ablation_squish,
+)
+from repro.experiments.churn import (
+    churn_webfarm_experiment,
+    flash_crowd_rt_experiment,
+    thundering_herd_experiment,
+    tidal_pipeline_experiment,
+    trace_replay_experiment,
 )
 from repro.experiments.figure5 import figure5_experiment, run_figure5
 from repro.experiments.figure6 import figure6_experiment, run_figure6
@@ -63,7 +71,12 @@ __all__ = [
     "ablation_period_experiment",
     "ablation_pid_experiment",
     "ablation_squish_experiment",
+    "churn_webfarm_experiment",
     "experiment",
+    "flash_crowd_rt_experiment",
+    "thundering_herd_experiment",
+    "tidal_pipeline_experiment",
+    "trace_replay_experiment",
     "figure5_experiment",
     "figure6_experiment",
     "figure7_experiment",

@@ -1,0 +1,236 @@
+"""Golden-trace conformance corpus.
+
+A *golden trace* pins the exact dispatch behaviour of a small but
+churn-heavy scenario — arrivals, finite jobs, kills, re-pins, a rate
+change — for **every scheduler policy x both kernel engines x 1 and 4
+CPUs**.  The committed corpus (``tests/golden/churn_smoke.json``)
+holds one fingerprint per combination; ``tests/test_golden.py`` re-runs
+each combination and diffs the fresh fingerprint against the corpus,
+so any change that moves a single dispatch-log entry anywhere in the
+matrix fails loudly and reviewably.
+
+Refreshing the corpus after an *intentional* behaviour change::
+
+    python -m repro golden --regen     # rewrite the corpus
+    python -m repro golden             # verify (CI does this too)
+
+The scenario only uses integer virtual time and seeded ``random``
+streams, so fingerprints are machine-independent for a given CPython
+family; if a platform's libm ever rounds an exponential draw
+differently, regenerate and commit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Iterator, Optional
+
+from repro._version import __version__
+from repro.sched.base import Scheduler
+from repro.sched.goodness import LinuxGoodnessScheduler
+from repro.sched.lottery import LotteryScheduler
+from repro.sched.priority import FixedPriorityScheduler
+from repro.sched.rbs import ReservationScheduler
+from repro.sched.round_robin import RoundRobinScheduler
+from repro.sim.kernel import Kernel
+from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
+from repro.workloads.engine import (
+    JobTemplate,
+    PhaseScript,
+    WorkloadEngine,
+    dispatch_fingerprint,
+)
+
+#: Version of the corpus file layout.
+GOLDEN_SCHEMA_VERSION = 1
+
+#: The scenario identifier stored in the corpus.
+GOLDEN_SCENARIO = "churn_smoke"
+
+#: Virtual duration of one golden run.
+GOLDEN_DURATION_US = 150_000
+
+#: Default corpus location (relative to the repository root).
+DEFAULT_CORPUS_PATH = "tests/golden/churn_smoke.json"
+
+#: The five dispatch policies covered by the corpus.
+GOLDEN_SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    "rbs": ReservationScheduler,
+    "round_robin": RoundRobinScheduler,
+    "priority": FixedPriorityScheduler,
+    "lottery": lambda: LotteryScheduler(seed=7),
+    "goodness": LinuxGoodnessScheduler,
+}
+
+#: Kernel engines and CPU counts in the matrix.
+GOLDEN_ENGINES = ("quantum", "horizon")
+GOLDEN_CPU_COUNTS = (1, 4)
+
+
+def build_golden(
+    scheduler: str, engine: str, n_cpus: int
+) -> tuple[Kernel, WorkloadEngine]:
+    """Assemble (but do not run) one golden-scenario kernel.
+
+    The scenario is deliberately churn-dense for its 150 ms: a Poisson
+    stream of short think-y jobs, a deterministic stream of I/O-staged
+    jobs with per-index pins and (under the reservation scheduler) a
+    hard reservation, and a phase script that re-rates the Poisson
+    stream, kills jobs mid-run, re-pins the I/O stream and retimes the
+    short jobs' demand.  Thread parameters (priority, nice, tickets)
+    are varied so every baseline policy has something to order by.
+    """
+    factory = GOLDEN_SCHEDULERS.get(scheduler)
+    if factory is None:
+        raise ValueError(
+            f"unknown golden scheduler {scheduler!r}; "
+            f"known: {sorted(GOLDEN_SCHEDULERS)}"
+        )
+    kernel = Kernel(factory(), n_cpus=n_cpus, record_dispatches=True,
+                    engine=engine)
+    churn = WorkloadEngine(kernel)
+    short = JobTemplate(
+        "short", total_cpu_us=3_000, burst_us=900, think_us=1_500,
+        priority=2, nice=0, tickets=150,
+    )
+    staged = JobTemplate(
+        "staged", total_cpu_us=4_000, burst_us=700, io_latency_us=2_000,
+        priority=1, nice=5, tickets=60,
+        reservation=(150, 10_000),
+        pin=lambda index: index % n_cpus,
+    )
+    hogs = JobTemplate(
+        # Long-lived on every CPU count, so the scripted kill below
+        # always finds a live victim (pinning the kill path in every
+        # corpus cell).
+        "hog", total_cpu_us=60_000, burst_us=2_500,
+        priority=1, nice=-3, tickets=40,
+    )
+    s_short = churn.add_stream("short", PoissonArrivals(180.0, seed=5), short)
+    s_staged = churn.add_stream("staged", DeterministicArrivals(13_000), staged)
+    s_hogs = churn.add_stream(
+        "hog", DeterministicArrivals(27_000), hogs, max_arrivals=4
+    )
+    script = PhaseScript()
+    script.set_rate(40_000, s_short.arrivals, 60.0)
+    script.kill(60_000, s_short, count=2)
+    script.repin(80_000, s_staged, n_cpus - 1)
+    script.retime(100_000, short, total_cpu_us=1_500)
+    script.kill(120_000, s_hogs, count=1)
+    churn.start(script)
+    return kernel, churn
+
+
+def entry_key(scheduler: str, engine: str, n_cpus: int) -> str:
+    """Corpus key for one matrix cell."""
+    return f"{scheduler}/{engine}/cpu{n_cpus}"
+
+
+def iter_matrix() -> Iterator[tuple[str, str, int]]:
+    """All (scheduler, engine, n_cpus) combinations in corpus order."""
+    for scheduler in GOLDEN_SCHEDULERS:
+        for engine in GOLDEN_ENGINES:
+            for n_cpus in GOLDEN_CPU_COUNTS:
+                yield scheduler, engine, n_cpus
+
+
+def run_golden(scheduler: str, engine: str, n_cpus: int) -> dict:
+    """Run one matrix cell; returns its corpus entry."""
+    kernel, churn = build_golden(scheduler, engine, n_cpus)
+    kernel.run_for(GOLDEN_DURATION_US)
+    return {
+        "dispatch_sha256": dispatch_fingerprint(kernel),
+        "dispatches": kernel.dispatch_count,
+        "spawned": churn.spawned_total(),
+        "completed": churn.completed_total(),
+        "killed": churn.killed_total(),
+    }
+
+
+def compute_corpus() -> dict:
+    """Run the full matrix and return the corpus structure."""
+    return {
+        "schema_version": GOLDEN_SCHEMA_VERSION,
+        "kind": "golden_corpus",
+        "scenario": GOLDEN_SCENARIO,
+        "duration_us": GOLDEN_DURATION_US,
+        "repro_version": __version__,
+        "entries": {
+            entry_key(*cell): run_golden(*cell) for cell in iter_matrix()
+        },
+    }
+
+
+def load_corpus(path: str) -> dict:
+    """Load and structurally validate a committed corpus file."""
+    with open(path) as handle:
+        corpus = json.load(handle)
+    if corpus.get("kind") != "golden_corpus":
+        raise ValueError(f"{path!r} is not a golden corpus")
+    if corpus.get("schema_version") != GOLDEN_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path!r} has schema version {corpus.get('schema_version')!r}, "
+            f"expected {GOLDEN_SCHEMA_VERSION}"
+        )
+    return corpus
+
+
+def write_corpus(path: str) -> dict:
+    """Regenerate the corpus and write it to ``path``."""
+    corpus = compute_corpus()
+    with open(path, "w") as handle:
+        json.dump(corpus, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return corpus
+
+
+def verify_cell(
+    corpus: dict, scheduler: str, engine: str, n_cpus: int
+) -> Optional[str]:
+    """Diff one fresh cell against the corpus; ``None`` when it conforms."""
+    key = entry_key(scheduler, engine, n_cpus)
+    expected = corpus.get("entries", {}).get(key)
+    if expected is None:
+        return f"{key}: missing from corpus (run `python -m repro golden --regen`)"
+    fresh = run_golden(scheduler, engine, n_cpus)
+    if fresh != expected:
+        detail = ", ".join(
+            f"{field}: {expected.get(field)!r} -> {fresh.get(field)!r}"
+            for field in sorted(set(expected) | set(fresh))
+            if expected.get(field) != fresh.get(field)
+        )
+        return f"{key}: diverged ({detail})"
+    return None
+
+
+def verify_corpus(corpus: dict) -> list[str]:
+    """Re-run the whole matrix; returns mismatch messages (empty = ok)."""
+    mismatches = []
+    for cell in iter_matrix():
+        message = verify_cell(corpus, *cell)
+        if message is not None:
+            mismatches.append(message)
+    known = {entry_key(*cell) for cell in iter_matrix()}
+    for key in sorted(set(corpus.get("entries", {})) - known):
+        mismatches.append(f"{key}: corpus entry has no matching matrix cell")
+    return mismatches
+
+
+__all__ = [
+    "DEFAULT_CORPUS_PATH",
+    "GOLDEN_CPU_COUNTS",
+    "GOLDEN_DURATION_US",
+    "GOLDEN_ENGINES",
+    "GOLDEN_SCENARIO",
+    "GOLDEN_SCHEDULERS",
+    "GOLDEN_SCHEMA_VERSION",
+    "build_golden",
+    "compute_corpus",
+    "entry_key",
+    "iter_matrix",
+    "load_corpus",
+    "run_golden",
+    "verify_cell",
+    "verify_corpus",
+    "write_corpus",
+]

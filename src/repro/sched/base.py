@@ -459,6 +459,17 @@ class Scheduler(ABC):
     def on_dispatch(self, thread: SimThread, now: int) -> None:
         """Hook: a thread was just selected to run."""
 
+    def note_affinity_change(self, thread: SimThread) -> None:
+        """Hook: ``thread``'s CPU affinity changed (a live re-pin).
+
+        Placement (and with it every per-CPU pick) depends on affinity,
+        so the epoch must move: cached placement maps and in-flight
+        run-to-horizon batches are invalidated.  Called by
+        :meth:`SimThread.pin_to` for threads already bound to a kernel;
+        overrides must call super.
+        """
+        self.state_epoch += 1
+
     def on_mutex_block(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
         """Hook: ``thread`` blocked acquiring ``mutex``.  Bumps the
         state epoch (priority inheritance can reorder picks); overrides
@@ -468,6 +479,13 @@ class Scheduler(ABC):
     def on_mutex_release(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
         """Hook: ``thread`` released ``mutex``.  Bumps the state epoch
         (inheritance boosts end here); overrides must call super."""
+        self.state_epoch += 1
+
+    def on_mutex_unblock(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
+        """Hook: ``thread`` left ``mutex``'s wait queue *without*
+        acquiring it (a forced exit via :meth:`Kernel.kill_thread`).
+        Bumps the state epoch — an inheritance boost the dead waiter
+        conferred may need recomputing; overrides must call super."""
         self.state_epoch += 1
 
     def charge(self, thread: SimThread, consumed_us: int, now: int) -> None:

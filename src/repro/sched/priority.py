@@ -65,6 +65,31 @@ class FixedPriorityScheduler(Scheduler):
         if base is not None:
             thread.priority = base
 
+    def on_mutex_unblock(self, thread: SimThread, mutex: "Mutex", now: int) -> None:
+        """A waiter was forcibly removed: recompute the owner's boost.
+
+        Without this, killing the high-priority waiter would leave the
+        owner running at the dead thread's priority for the rest of its
+        critical section.  The boost is recomputed from the waiters
+        still queued (the same single-mutex fidelity as the block/
+        release handlers above).
+        """
+        super().on_mutex_unblock(thread, mutex, now)
+        if not self.priority_inheritance:
+            return
+        owner = mutex.owner
+        if owner is None:
+            return
+        base = self._base_priority.get(owner.tid)
+        if base is None:
+            return
+        boosted = max((w.priority for w in mutex.waiters), default=base)
+        if boosted <= base:
+            self._base_priority.pop(owner.tid, None)
+            owner.priority = base
+        else:
+            owner.priority = boosted
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------

@@ -339,6 +339,92 @@ class Kernel:
         thread = SimThread(name, body, **kwargs)
         return self.add_thread(thread)
 
+    def kill_thread(self, thread: SimThread, *, status: int = -9) -> bool:
+        """Forcibly terminate a live thread mid-run.
+
+        The open-system workload engine's exit path for phase-scripted
+        kills: the thread is detached from whatever it is waiting on
+        (its sleep/I/O wake-up event is cancelled; it is removed from
+        channel and mutex waiter queues, re-servicing the queue so a
+        smaller waiter behind it may proceed), marked ``EXITED`` and
+        removed from the scheduler — which bumps the scheduler's state
+        epoch, so an in-flight run-to-horizon batch provably cannot
+        span the kill.
+
+        Returns ``True`` if the thread was killed, ``False`` if it had
+        already exited (a script killing a job that just completed is
+        not an error).  Killing a thread that is currently ``RUNNING``
+        (i.e. from inside its own or a sibling's dispatch slice) is
+        unsupported — use an :class:`~repro.sim.requests.Exit` request
+        for voluntary exit; calendar events always fire between
+        slices, so phase scripts never see a running victim.  A thread
+        that *owns* a mutex must release it before being killed; the
+        kernel cannot see ownership from the thread side, so killing an
+        owner leaves the mutex held forever.
+        """
+        if thread.tid not in self._thread_tids:
+            raise SimulationError(
+                f"thread {thread.name!r} is not part of this kernel"
+            )
+        if thread.state == ThreadState.EXITED:
+            return False
+        if thread.state == ThreadState.RUNNING:
+            raise ThreadStateError(
+                f"cannot kill {thread.name!r} while it is running a slice"
+            )
+        wakeup = thread.wakeup_event
+        if wakeup is not None:
+            wakeup.cancel()
+            thread.wakeup_event = None
+        blocked_on = thread.blocked_on
+        thread.blocked_on = None
+        thread.state = ThreadState.EXITED
+        thread.exit_status = status
+        thread.finish_request()
+        self.scheduler.remove_thread(thread)
+        if blocked_on is not None:
+            self._detach_waiter(thread, blocked_on)
+        return True
+
+    def _detach_waiter(self, thread: SimThread, blocked_on: object) -> None:
+        """Remove a killed thread from its waiter queue and re-service.
+
+        Removing the head of a channel queue can unblock a smaller
+        request queued behind it, so both waiter directions are
+        re-serviced after the removal (the thread is already EXITED and
+        off the queues, so servicing never touches it again).
+        ``blocked_on`` may also be a plain I/O tag (WaitIO), whose only
+        linkage is the wake-up event the caller already cancelled.
+        """
+        # Runtime imports: the kernel only names these types here, and
+        # importing them at module level would cycle (ipc imports sim).
+        from repro.ipc.bounded_buffer import Channel
+        from repro.ipc.mutex import Mutex
+
+        if isinstance(blocked_on, Channel):
+            # The thread sits in exactly one of the two queues; try both
+            # (deque.remove is O(n) on a queue short by construction).
+            try:
+                blocked_on.put_waiters.remove(thread)
+            except ValueError:
+                try:
+                    blocked_on.get_waiters.remove(thread)
+                except ValueError:
+                    pass
+            self._service_put_waiters(blocked_on)
+            self._service_get_waiters(blocked_on)
+        elif isinstance(blocked_on, Mutex):
+            # Leave the queue (ownership hand-off only happens on
+            # release, which never sees the exited thread) and let the
+            # scheduler recompute any priority-inheritance boost the
+            # dead waiter conferred on the owner.
+            try:
+                blocked_on.waiters.remove(thread)
+            except ValueError:
+                pass
+            else:
+                self.scheduler.on_mutex_unblock(thread, blocked_on, self.now)
+
     # ------------------------------------------------------------------
     # periodic helpers / controller overhead hook
     # ------------------------------------------------------------------

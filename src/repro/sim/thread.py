@@ -215,7 +215,14 @@ class SimThread:
                     f"{self.name}: cannot pin to CPU {cpu}, the kernel has "
                     f"only {self._env.kernel.n_cpus} CPU(s)"
                 )
+        changed = cpu != self.affinity
         self.affinity = cpu
+        if changed and self._env is not None:
+            # A live re-pin changes placement eligibility, which the
+            # run-to-horizon engine's cached placements and batches
+            # depend on; the scheduler bumps its state epoch so they
+            # are invalidated.
+            self._env.kernel.scheduler.note_affinity_change(self)
 
     def __hash__(self) -> int:
         return hash(self.tid)

@@ -20,10 +20,31 @@ discusses:
 * :mod:`repro.workloads.modem` — an isochronous software modem, the
   paper's canonical real-time (reservation) application;
 * :mod:`repro.workloads.inversion` — the Mars-Pathfinder-style priority
-  inversion scenario from Section 2.
+  inversion scenario from Section 2;
+* :mod:`repro.workloads.arrivals` / :mod:`repro.workloads.engine` — the
+  open-system workload engine: arrival processes (Poisson,
+  deterministic, MMPP-style bursty, trace replay) inject finite-demand
+  jobs into a running kernel, and phase scripts retime/retarget live
+  threads (the churn scenarios and the golden-trace corpus).
 """
 
+from repro.workloads.arrivals import (
+    ArrivalError,
+    ArrivalProcess,
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
 from repro.workloads.cpu_hog import CpuHog
+from repro.workloads.engine import (
+    JobStream,
+    JobTemplate,
+    PhaseScript,
+    WorkloadEngine,
+    WorkloadError,
+    dispatch_fingerprint,
+)
 from repro.workloads.interactive import InteractiveJob, InteractiveUser
 from repro.workloads.inversion import InversionResult, InversionScenario
 from repro.workloads.io_intensive import IoIntensiveJob
@@ -38,7 +59,19 @@ from repro.workloads.webfarm import WebFarm
 from repro.workloads.webserver import WebServer
 
 __all__ = [
+    "ArrivalError",
+    "ArrivalProcess",
     "CpuHog",
+    "DeterministicArrivals",
+    "JobStream",
+    "JobTemplate",
+    "MMPPArrivals",
+    "PhaseScript",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "WorkloadEngine",
+    "WorkloadError",
+    "dispatch_fingerprint",
     "InteractiveJob",
     "InteractiveUser",
     "InversionResult",

@@ -1,0 +1,120 @@
+"""Golden-trace conformance: fresh runs must match the committed corpus.
+
+The corpus (``tests/golden/churn_smoke.json``) pins the full dispatch
+behaviour of the golden churn scenario for every scheduler policy x
+both kernel engines x 1 and 4 CPUs.  A failure here means scheduling
+behaviour changed: if intentional, refresh the corpus with
+``python -m repro golden --regen`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import golden
+
+CORPUS_PATH = Path(__file__).parent / "golden" / "churn_smoke.json"
+
+
+@pytest.fixture(scope="module")
+def corpus() -> dict:
+    return golden.load_corpus(str(CORPUS_PATH))
+
+
+def test_corpus_is_committed_and_complete(corpus):
+    assert corpus["scenario"] == golden.GOLDEN_SCENARIO
+    assert corpus["duration_us"] == golden.GOLDEN_DURATION_US
+    expected_keys = {golden.entry_key(*cell) for cell in golden.iter_matrix()}
+    assert set(corpus["entries"]) == expected_keys
+    # 5 schedulers x 2 engines x 2 CPU counts.
+    assert len(corpus["entries"]) == 20
+
+
+@pytest.mark.parametrize("scheduler", sorted(golden.GOLDEN_SCHEDULERS))
+def test_golden_traces_conform(corpus, scheduler):
+    """Every (engine, n_cpus) cell of one scheduler matches the corpus."""
+    mismatches = []
+    for engine in golden.GOLDEN_ENGINES:
+        for n_cpus in golden.GOLDEN_CPU_COUNTS:
+            message = golden.verify_cell(corpus, scheduler, engine, n_cpus)
+            if message is not None:
+                mismatches.append(message)
+    assert not mismatches, (
+        "golden-trace divergence (intentional? run "
+        "`python -m repro golden --regen`):\n" + "\n".join(mismatches)
+    )
+
+
+def test_corpus_engines_agree(corpus):
+    """Within the corpus itself, quantum and horizon cells are identical
+    (the committed baseline must never encode an engine divergence)."""
+    for scheduler in golden.GOLDEN_SCHEDULERS:
+        for n_cpus in golden.GOLDEN_CPU_COUNTS:
+            quantum = corpus["entries"][
+                golden.entry_key(scheduler, "quantum", n_cpus)
+            ]
+            horizon = corpus["entries"][
+                golden.entry_key(scheduler, "horizon", n_cpus)
+            ]
+            assert quantum == horizon, (scheduler, n_cpus)
+
+
+def test_corpus_cells_exercise_churn(corpus):
+    """Every cell spawns, completes and kills jobs — a corpus cell that
+    stopped churning would silently weaken the conformance check."""
+    for key, entry in corpus["entries"].items():
+        assert entry["spawned"] > 0, key
+        assert entry["completed"] > 0, key
+        assert entry["killed"] > 0, key
+        assert entry["dispatches"] > 0, key
+
+
+def test_verify_reports_divergence(monkeypatch, corpus):
+    """A corrupted corpus entry is reported, not silently accepted.
+
+    ``run_golden`` is stubbed to echo the committed entries so this
+    exercises only the diff/reporting logic, not 20 more simulations.
+    """
+    broken = json.loads(json.dumps(corpus))
+    key = golden.entry_key("rbs", "horizon", 1)
+    broken["entries"][key]["dispatch_sha256"] = "0" * 64
+    broken["entries"]["bogus/horizon/cpu9"] = {"dispatch_sha256": "x"}
+    monkeypatch.setattr(
+        golden,
+        "run_golden",
+        lambda *cell: dict(corpus["entries"][golden.entry_key(*cell)]),
+    )
+    messages = golden.verify_corpus(broken)
+    assert any(key in message and "diverged" in message for message in messages)
+    assert any("bogus" in message for message in messages)
+    # A missing cell is reported too.
+    del broken["entries"][key]
+    assert any(
+        "missing" in message for message in golden.verify_corpus(broken)
+    )
+
+
+def test_load_corpus_rejects_wrong_kind(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"kind": "bench", "schema_version": 1}))
+    with pytest.raises(ValueError, match="not a golden corpus"):
+        golden.load_corpus(str(path))
+    path.write_text(
+        json.dumps({"kind": "golden_corpus", "schema_version": 99})
+    )
+    with pytest.raises(ValueError, match="schema version"):
+        golden.load_corpus(str(path))
+
+
+def test_write_corpus_roundtrip(tmp_path, corpus):
+    """``--regen`` output round-trips and matches the committed corpus
+    (the full matrix was already re-simulated by the conform tests, so
+    equality against ``corpus`` is the cheap way to assert it)."""
+    path = tmp_path / "fresh.json"
+    written = golden.write_corpus(str(path))
+    loaded = golden.load_corpus(str(path))
+    assert loaded == written
+    assert written["entries"] == corpus["entries"]
