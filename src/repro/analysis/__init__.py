@@ -9,6 +9,11 @@ can show the figures' shapes without a plotting dependency.
 """
 
 from repro.analysis.regression import LinearFit, linear_fit
+from repro.analysis.report import (
+    ReportError,
+    load_report_artifact,
+    render_report,
+)
 from repro.analysis.response import StepResponse, step_response
 from repro.analysis.results import ExperimentResult, format_table
 from repro.analysis.series import (
@@ -19,18 +24,37 @@ from repro.analysis.series import (
     resample,
     sparkline,
 )
+from repro.analysis.sojourn import (
+    SLO_PERCENTILES,
+    ResponseCurvePoint,
+    SojournStats,
+    exact_rank_percentile,
+    response_curve_series,
+    sojourn_stats,
+    sojourn_stats_by_tag,
+)
 
 __all__ = [
     "ExperimentResult",
     "LinearFit",
+    "ReportError",
+    "ResponseCurvePoint",
+    "SLO_PERCENTILES",
+    "SojournStats",
     "StepResponse",
     "differentiate_series",
+    "exact_rank_percentile",
     "find_knee",
     "format_table",
     "linear_fit",
+    "load_report_artifact",
     "mean_absolute_deviation",
     "rate_from_cumulative",
+    "render_report",
     "resample",
+    "response_curve_series",
+    "sojourn_stats",
+    "sojourn_stats_by_tag",
     "sparkline",
     "step_response",
 ]

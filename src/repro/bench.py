@@ -29,7 +29,7 @@ import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro._version import __version__
 
@@ -437,20 +437,33 @@ def load_bench_artifact(path: str) -> dict:
 
 @dataclass(frozen=True)
 class BenchComparison:
-    """One scenario's fresh throughput against the baseline's."""
+    """One scenario's fresh throughput against the baseline's.
+
+    Either side can be absent: a fresh scenario with no baseline entry
+    compares against ``None`` (informational), and a *baseline*
+    scenario absent from the fresh run has ``fresh_sim_us_per_wall_s``
+    of ``None`` — a :attr:`missing` row, which the compare gate treats
+    as a failure (a scenario silently dropping out of the suite must
+    not read as "no regressions").
+    """
 
     name: str
     baseline_sim_us_per_wall_s: Optional[float]
-    fresh_sim_us_per_wall_s: float
+    fresh_sim_us_per_wall_s: Optional[float]
     threshold: float
 
     @property
     def ratio(self) -> Optional[float]:
-        """Fresh/baseline throughput, or ``None`` without a baseline."""
+        """Fresh/baseline throughput, or ``None`` when a side is absent."""
         base = self.baseline_sim_us_per_wall_s
-        if base is None or base <= 0:
+        if base is None or base <= 0 or self.fresh_sim_us_per_wall_s is None:
             return None
         return self.fresh_sim_us_per_wall_s / base
+
+    @property
+    def missing(self) -> bool:
+        """A baseline scenario the fresh run did not produce."""
+        return self.fresh_sim_us_per_wall_s is None
 
     @property
     def regressed(self) -> bool:
@@ -464,6 +477,7 @@ def compare_to_baseline(
     baseline: dict,
     *,
     threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    expected: Optional[Sequence[str]] = None,
 ) -> list[BenchComparison]:
     """Compare fresh results against a loaded baseline artifact.
 
@@ -473,6 +487,15 @@ def compare_to_baseline(
     against a full baseline) still compares meaningfully because the
     metric is throughput, not wall time — but the table shows both
     figures so the reader is not misled.
+
+    Baseline scenarios the fresh run did *not* produce are appended as
+    :attr:`~BenchComparison.missing` rows — historically they were
+    silently dropped, so a scenario deleted (or renamed, or crashed
+    out of) the suite made the comparison read "all ok".  ``expected``
+    limits that check to an explicit scenario subset: pass the names
+    the user asked to run (``bench overload64 --compare``) so an
+    intentional partial run is not flagged; ``None`` means the fresh
+    run claims to cover everything in the baseline.
     """
     if not 0 < threshold < 1:
         raise BenchError(
@@ -495,6 +518,20 @@ def compare_to_baseline(
                 threshold=threshold,
             )
         )
+    fresh_names = {result.name for result in results}
+    for name, scenario in by_name.items():
+        if name in fresh_names:
+            continue
+        if expected is not None and name not in expected:
+            continue
+        comparisons.append(
+            BenchComparison(
+                name=name,
+                baseline_sim_us_per_wall_s=scenario.get("sim_us_per_wall_s"),
+                fresh_sim_us_per_wall_s=None,
+                threshold=threshold,
+            )
+        )
     return comparisons
 
 
@@ -512,8 +549,15 @@ def format_compare_table(comparisons: list[BenchComparison]) -> str:
             if c.baseline_sim_us_per_wall_s is not None
             else "—"
         )
+        fresh = (
+            f"{c.fresh_sim_us_per_wall_s:,.0f}"
+            if c.fresh_sim_us_per_wall_s is not None
+            else "—"
+        )
         ratio = f"{c.ratio:.2f}x" if c.ratio is not None else "—"
-        if c.ratio is None:
+        if c.missing:
+            verdict = "MISSING (in baseline, not in fresh run)"
+        elif c.ratio is None:
             verdict = "no baseline"
         elif c.regressed:
             verdict = f"REGRESSED (>{c.threshold:.0%} drop)"
@@ -521,7 +565,7 @@ def format_compare_table(comparisons: list[BenchComparison]) -> str:
             verdict = "ok"
         lines.append(
             f"{c.name:<{width}} {base:>14} "
-            f"{c.fresh_sim_us_per_wall_s:>14,.0f} {ratio:>7}  {verdict}"
+            f"{fresh:>14} {ratio:>7}  {verdict}"
         )
     return "\n".join(lines)
 

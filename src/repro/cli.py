@@ -19,6 +19,14 @@ separating elements of a list-valued point), fans the points out over
 schema-versioned JSON artifact.  ``--json -`` writes any artifact to
 stdout.
 
+``report`` renders a result or sweep JSON artifact as a markdown
+report — metrics, per-tag exact-rank sojourn percentiles, the
+latency-vs-load response curve with its knee, the SLO-vs-PID
+controller comparison and sparkline "plots" of every series::
+
+    python -m repro run flash_crowd_rt --quick --json flash.json
+    python -m repro report flash.json --out flash.md
+
 ``bench`` times the registered macro scenarios (see
 :mod:`repro.bench`) with min-of-K repeats and reports simulated
 microseconds per wall-clock second; ``--json`` (optionally with a
@@ -39,6 +47,11 @@ from typing import Optional, Sequence
 
 import repro.experiments  # noqa: F401 — importing populates the registry
 from repro._version import __version__
+from repro.analysis.report import (
+    ReportError,
+    load_report_artifact,
+    render_report,
+)
 from repro.bench import (
     BENCH_REGISTRY,
     DEFAULT_ARTIFACT,
@@ -233,6 +246,44 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    artifact = load_report_artifact(args.artifact)
+    markdown = render_report(artifact)
+    if args.out == "-":
+        sys.stdout.write(markdown)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _warn_if_scenario_like(flag: str, value: Optional[str]) -> None:
+    """Warn when a --json/--compare value looks like a typo'd scenario.
+
+    ``bench overlaod64 --json`` (note the typo) parses the misspelled
+    name as ``--json``'s output path and would happily benchmark *all*
+    scenarios, then clobber a file named after the typo.  Exact matches
+    are already hard errors; near-misses get a stderr warning so the
+    user can interrupt.
+    """
+    if value is None or value == "-" or value in BENCH_REGISTRY:
+        return
+    import difflib
+    import os
+
+    stem = os.path.basename(value)
+    stem = stem[: -len(".json")] if stem.endswith(".json") else stem
+    close = difflib.get_close_matches(stem, BENCH_REGISTRY, n=1, cutoff=0.75)
+    if close:
+        print(
+            f"warning: {flag} value {value!r} looks like scenario "
+            f"{close[0]!r}; it is being used as a file path "
+            f"(use {flag}=PATH to silence this)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.list:
         width = max(len(name) for name in BENCH_REGISTRY)
@@ -255,6 +306,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"baseline path; put scenario names before --compare, or use "
             f"--compare=PATH"
         )
+    _warn_if_scenario_like("--json", args.json)
+    _warn_if_scenario_like("--compare", args.compare)
     json_path = args.json
     if args.quick and json_path == DEFAULT_ARTIFACT:
         # ``--quick --json`` (bare, or naming the default path — argparse
@@ -286,16 +339,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if json_path != "-":
             print(f"appended run {record['git_sha']} to {args.history}")
     if baseline is not None:
+        # When the user named scenarios, only those are expected to be
+        # present; a bare ``--compare`` claims full-suite coverage, so
+        # any baseline scenario the run failed to produce is a MISSING
+        # failure rather than a silent pass.
         comparisons = compare_to_baseline(
-            results, baseline, threshold=args.threshold
+            results,
+            baseline,
+            threshold=args.threshold,
+            expected=args.scenario or None,
         )
         print(format_compare_table(comparisons))
+        failed = False
         regressed = [c.name for c in comparisons if c.regressed]
         if regressed:
             print(
                 f"perf regression (> {args.threshold:.0%} throughput drop) "
                 f"vs {args.compare}: {', '.join(regressed)}"
             )
+            failed = True
+        missing = [c.name for c in comparisons if c.missing]
+        if missing:
+            print(
+                f"baseline scenario(s) missing from this run: "
+                f"{', '.join(missing)} (present in {args.compare}; "
+                f"refresh the baseline if they were removed on purpose)"
+            )
+            failed = True
+        if failed:
             return 1
     return 0
 
@@ -432,6 +503,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.set_defaults(handler=_cmd_bench)
 
+    p_report = sub.add_parser(
+        "report",
+        help="render a result/sweep JSON artifact as a markdown report",
+    )
+    p_report.add_argument(
+        "artifact",
+        help="artifact path written by run/sweep --json ('-' reads stdin)",
+    )
+    p_report.add_argument(
+        "--out", metavar="PATH", default="-",
+        help="write the markdown to PATH (default '-': stdout)",
+    )
+    p_report.set_defaults(handler=_cmd_report)
+
     return parser
 
 
@@ -440,7 +525,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ParameterError, UnknownExperimentError, BenchError) as error:
+    except (ParameterError, UnknownExperimentError, BenchError, ReportError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2

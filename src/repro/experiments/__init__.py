@@ -57,6 +57,8 @@ from repro.experiments.registry import (
     UnknownExperimentError,
     experiment,
 )
+from repro.experiments.response_curve import response_curve_experiment
+from repro.experiments.slo import slo_flash_crowd_experiment
 from repro.experiments.smp_scaling import run_smp_scaling, smp_scaling_experiment
 from repro.experiments.taxonomy import run_taxonomy, taxonomy_experiment
 
@@ -92,6 +94,8 @@ __all__ = [
     "run_inversion_comparison",
     "run_smp_scaling",
     "run_taxonomy",
+    "response_curve_experiment",
+    "slo_flash_crowd_experiment",
     "smp_scaling_experiment",
     "taxonomy_experiment",
 ]

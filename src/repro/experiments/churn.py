@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.results import ExperimentResult
+from repro.analysis.sojourn import sojourn_stats_by_tag
 from repro.core.taxonomy import ThreadSpec
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
@@ -68,13 +69,34 @@ def _sample_live(system: RealRateSystem, engine: WorkloadEngine) -> None:
 def _churn_metrics(
     result: ExperimentResult, system: RealRateSystem, engine: WorkloadEngine
 ) -> None:
-    """Fold the engine's churn bookkeeping into the result."""
+    """Fold the engine's churn bookkeeping into the result.
+
+    Alongside the counts, the per-job completion records are stamped
+    into ``metadata["job_records"]`` (the wire form ``python -m repro
+    report`` reads) and summarized as exact-rank sojourn percentiles
+    per tag in ``metadata["sojourn_percentiles"]``; the headline
+    percentiles also land in ``metrics``.  Latency metrics are only
+    emitted when at least one job completed — a run with no
+    completions has *no* sojourn figures, not zero-latency ones.
+    """
     result.metrics["jobs_spawned"] = float(engine.spawned_total())
     result.metrics["jobs_completed"] = float(engine.completed_total())
     result.metrics["jobs_rejected"] = float(engine.rejected_total())
     result.metrics["jobs_killed"] = float(engine.killed_total())
     result.metrics["jobs_live_at_end"] = float(engine.live_total())
-    result.metrics["mean_sojourn_ms"] = engine.mean_sojourn_us() / 1_000.0
+    records = [record.to_dict() for record in engine.records()]
+    stats = sojourn_stats_by_tag(records)
+    overall = stats.get("all")
+    if overall is not None and overall.completed > 0:
+        result.metrics["mean_sojourn_ms"] = overall.mean_us / 1_000.0
+        result.metrics["sojourn_p50_ms"] = overall.p50_us / 1_000.0
+        result.metrics["sojourn_p95_ms"] = overall.p95_us / 1_000.0
+        result.metrics["sojourn_p99_ms"] = overall.p99_us / 1_000.0
+        result.metrics["sojourn_p999_ms"] = overall.p999_us / 1_000.0
+    result.metadata["job_records"] = records
+    result.metadata["sojourn_percentiles"] = {
+        tag: tag_stats.to_dict() for tag, tag_stats in stats.items()
+    }
     live = system.kernel.tracer.series("churn:live")
     if len(live):
         result.metrics["peak_live_jobs"] = max(live.values())
@@ -329,6 +351,59 @@ def thundering_herd_experiment(
 # ----------------------------------------------------------------------
 # flash_crowd_rt
 # ----------------------------------------------------------------------
+def build_flash_crowd_workload(
+    *,
+    n_cpus: int,
+    base_rps: float,
+    flash_rps: float,
+    flash_start_s: float,
+    flash_end_s: float,
+    rt_ppt: int,
+    job_cpu_us: int,
+    seed: Optional[int],
+    engine: str,
+):
+    """Assemble the flash-crowd scenario, ready to start.
+
+    Shared between ``flash_crowd_rt`` and the SLO-controller
+    head-to-head (``slo_flash_crowd``), so the two experiments drive
+    bit-identical workloads: same system wiring, same templates, same
+    phase script, same tracer samplers.  Returns ``(system, churn,
+    stream, template, script)`` — the caller starts the engine (after
+    attaching any extra controller) and runs the kernel.
+    """
+    if flash_end_s < flash_start_s:
+        raise ValueError(
+            f"flash_end_s ({flash_end_s}) must not precede flash_start_s "
+            f"({flash_start_s})"
+        )
+    system = build_real_rate_system(
+        n_cpus=n_cpus, record_dispatches=True, engine=engine
+    )
+    churn = WorkloadEngine(system.kernel, allocator=system.allocator)
+    template = JobTemplate(
+        "rt",
+        total_cpu_us=job_cpu_us,
+        burst_us=800,
+        think_us=500,
+        spec=ThreadSpec(proportion_ppt=rt_ppt, period_us=10_000),
+    )
+    arrivals = PoissonArrivals(base_rps, seed=seed or 0)
+    stream = churn.add_stream("crowd", arrivals, template)
+    script = PhaseScript()
+    script.set_rate(seconds(flash_start_s), arrivals, flash_rps)
+    script.set_rate(seconds(flash_end_s), arrivals, base_rps)
+    scheduler = system.scheduler
+    system.kernel.tracer.add_sampler(
+        system.kernel.events,
+        _LIVE_SAMPLE_US,
+        "churn:reserved_ppt",
+        lambda now: float(scheduler.total_reserved_ppt()),
+    )
+    _sample_live(system, churn)
+    return system, churn, stream, template, script
+
+
 @experiment(
     name="flash_crowd_rt",
     description="Real-time jobs with admission control under a flash crowd",
@@ -370,35 +445,17 @@ def flash_crowd_rt_experiment(
     *rejected* rather than degrading admitted jobs.  Capacity freed by
     a completing job is reusable by the very next arrival.
     """
-    if flash_end_s < flash_start_s:
-        raise ValueError(
-            f"flash_end_s ({flash_end_s}) must not precede flash_start_s "
-            f"({flash_start_s})"
-        )
-    system = build_real_rate_system(
-        n_cpus=n_cpus, record_dispatches=True, engine=engine
+    system, churn, _stream, _template, script = build_flash_crowd_workload(
+        n_cpus=n_cpus,
+        base_rps=base_rps,
+        flash_rps=flash_rps,
+        flash_start_s=flash_start_s,
+        flash_end_s=flash_end_s,
+        rt_ppt=rt_ppt,
+        job_cpu_us=job_cpu_us,
+        seed=seed,
+        engine=engine,
     )
-    churn = WorkloadEngine(system.kernel, allocator=system.allocator)
-    template = JobTemplate(
-        "rt",
-        total_cpu_us=job_cpu_us,
-        burst_us=800,
-        think_us=500,
-        spec=ThreadSpec(proportion_ppt=rt_ppt, period_us=10_000),
-    )
-    arrivals = PoissonArrivals(base_rps, seed=seed or 0)
-    churn.add_stream("crowd", arrivals, template)
-    script = PhaseScript()
-    script.set_rate(seconds(flash_start_s), arrivals, flash_rps)
-    script.set_rate(seconds(flash_end_s), arrivals, base_rps)
-    scheduler = system.scheduler
-    system.kernel.tracer.add_sampler(
-        system.kernel.events,
-        _LIVE_SAMPLE_US,
-        "churn:reserved_ppt",
-        lambda now: float(scheduler.total_reserved_ppt()),
-    )
-    _sample_live(system, churn)
     churn.start(script)
     system.run_for(seconds(duration_s))
 
@@ -514,6 +571,7 @@ def trace_replay_experiment(
 
 __all__ = [
     "DEFAULT_TRACE",
+    "build_flash_crowd_workload",
     "churn_webfarm_experiment",
     "flash_crowd_rt_experiment",
     "thundering_herd_experiment",

@@ -13,7 +13,11 @@ needs:
 * a :class:`~repro.swift.pid.PIDController` assembled from those blocks
   (the G function of Figure 3);
 * a :class:`~repro.swift.circuit.Circuit` container for composing and
-  stepping a whole dataflow graph at the controller's sampling rate.
+  stepping a whole dataflow graph at the controller's sampling rate;
+* an :class:`~repro.swift.slo.SLOController` — a second-level feedback
+  loop that drives a job class's reservation from its observed tail
+  latency (windowed exact-rank p99 vs an SLO target) instead of
+  progress pressure.
 """
 
 from repro.swift.circuit import Circuit, Wire
@@ -29,6 +33,7 @@ from repro.swift.components import (
     SummingJunction,
 )
 from repro.swift.pid import PIDController, PIDGains
+from repro.swift.slo import SLOController, SLOPolicy
 
 __all__ = [
     "Circuit",
@@ -42,6 +47,8 @@ __all__ = [
     "MovingAverage",
     "PIDController",
     "PIDGains",
+    "SLOController",
+    "SLOPolicy",
     "SummingJunction",
     "Wire",
 ]

@@ -38,6 +38,7 @@ from repro.workloads.arrivals import (
 )
 from repro.workloads.cpu_hog import CpuHog
 from repro.workloads.engine import (
+    JobRecord,
     JobStream,
     JobTemplate,
     PhaseScript,
@@ -63,6 +64,7 @@ __all__ = [
     "ArrivalProcess",
     "CpuHog",
     "DeterministicArrivals",
+    "JobRecord",
     "JobStream",
     "JobTemplate",
     "MMPPArrivals",

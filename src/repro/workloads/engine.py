@@ -147,6 +147,48 @@ class JobTemplate:
         return self.pin
 
 
+#: The three ways a job leaves the bookkeeping.
+JOB_OUTCOMES = ("completed", "killed", "rejected")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's lifetime, recorded when it leaves the system.
+
+    ``tag`` is the arrival tag that selected the template (or the
+    template's name for untagged streams), so downstream analysis can
+    group sojourn percentiles by job class.  ``outcome`` is one of
+    :data:`JOB_OUTCOMES`: ``completed`` (ran its full demand),
+    ``killed`` (forced out mid-run) or ``rejected`` (denied admission
+    — no thread ever existed; ``end_us == spawn_us``).  Only
+    ``completed`` records carry a meaningful sojourn.
+    """
+
+    stream: str
+    index: int
+    tag: str
+    spawn_us: int
+    end_us: int
+    outcome: str
+
+    @property
+    def sojourn_us(self) -> int:
+        """Arrival-to-exit latency (0 for rejected arrivals)."""
+        return self.end_us - self.spawn_us
+
+    def to_dict(self) -> dict:
+        """JSON-safe wire form (the record schema the report reads)."""
+        return {
+            "stream": self.stream,
+            "index": self.index,
+            "tag": self.tag,
+            "spawn_us": self.spawn_us,
+            "end_us": self.end_us,
+            "outcome": self.outcome,
+            "sojourn_us": self.sojourn_us,
+        }
+
+
 @dataclass
 class JobStream:
     """One arrival process feeding one (or a tag map of) template(s).
@@ -154,8 +196,10 @@ class JobStream:
     Bookkeeping is in job counts: ``spawned`` (threads created),
     ``rejected`` (arrivals denied admission — no thread was created),
     ``completed`` (ran their full demand and exited), ``killed``
-    (forced out by a phase script).  ``sojourn_us`` records
-    arrival-to-exit latency per *completed* job, in completion order.
+    (forced out by a phase script).  ``records`` holds one
+    :class:`JobRecord` per job that left the system (completed, killed
+    or rejected), in departure order — the raw material for per-tag
+    sojourn percentiles and response curves.
     """
 
     name: str
@@ -169,9 +213,12 @@ class JobStream:
     rejected: int = 0
     completed: int = 0
     killed: int = 0
-    sojourn_us: list[int] = field(default_factory=list)
+    records: list[JobRecord] = field(default_factory=list)
     #: Job index -> live thread, in spawn order.
     live: dict[int, SimThread] = field(default_factory=dict)
+    #: Job index -> (tag, spawn time) for live jobs, finalized into a
+    #: :class:`JobRecord` when the job leaves.
+    inflight: dict[int, tuple[str, int]] = field(default_factory=dict)
 
     def arrivals_seen(self) -> int:
         """Arrivals processed so far (spawned + rejected)."""
@@ -189,11 +236,34 @@ class JobStream:
             )
         return template
 
+    def completed_sojourns_us(self) -> list[int]:
+        """Sojourn times of completed jobs, in completion order."""
+        return [r.sojourn_us for r in self.records if r.outcome == "completed"]
+
     def mean_sojourn_us(self) -> float:
-        """Mean completed-job sojourn time (0.0 with no completions)."""
-        if not self.sojourn_us:
-            return 0.0
-        return sum(self.sojourn_us) / len(self.sojourn_us)
+        """Mean completed-job sojourn time.
+
+        ``nan`` when no job ever completed — a stream that never
+        finished anything must not masquerade as one with zero
+        latency.
+        """
+        sojourns = self.completed_sojourns_us()
+        if not sojourns:
+            return float("nan")
+        return sum(sojourns) / len(sojourns)
+
+    def _finish(self, index: int, tag: str, spawn_us: int, end_us: int,
+                outcome: str) -> None:
+        self.records.append(
+            JobRecord(
+                stream=self.name,
+                index=index,
+                tag=tag,
+                spawn_us=spawn_us,
+                end_us=end_us,
+                outcome=outcome,
+            )
+        )
 
 
 class WorkloadEngine:
@@ -320,6 +390,7 @@ class WorkloadEngine:
         name = f"{stream.name}.{index}"
         pin = template.resolve_pin(index)
         spec = template.spec
+        record_tag = tag if tag is not None else template.name
         if (
             spec is not None
             and spec.specifies_proportion
@@ -332,6 +403,7 @@ class WorkloadEngine:
             # the system (no thread is created, no tid is consumed by
             # the scheduler).
             stream.rejected += 1
+            stream._finish(index, record_tag, now, now, "rejected")
             return None
         # Jobs with neither a controller spec nor a direct reservation
         # are best-effort: under a bare reservation scheduler the
@@ -362,6 +434,7 @@ class WorkloadEngine:
                 set_reservation(thread, *template.reservation)
         stream.spawned += 1
         stream.live[index] = thread
+        stream.inflight[index] = (record_tag, now)
         return thread
 
     def _make_body(
@@ -393,7 +466,8 @@ class WorkloadEngine:
             # the exiting dispatch's exact virtual time).
             stream.completed += 1
             stream.live.pop(index, None)
-            stream.sojourn_us.append(env.now - spawned_at)
+            tag, spawn_us = stream.inflight.pop(index)
+            stream._finish(index, tag, spawn_us, env.now, "completed")
 
         return body
 
@@ -410,13 +484,36 @@ class WorkloadEngine:
 
     def kill(self, stream: JobStream, count: Optional[int] = None) -> int:
         """Force-exit up to ``count`` live jobs (oldest first; all by
-        default).  Returns how many were actually killed."""
+        default).  Returns how many were actually killed.
+
+        A job only leaves ``live`` tracking *counted*: on a successful
+        :meth:`Kernel.kill_thread` it is counted (and recorded) as
+        killed.  ``kill_thread`` returning ``False`` means the thread
+        had already exited — natural completion removes its own
+        ``live`` entry at the exiting dispatch, and the engine never
+        runs between taking the victim snapshot and killing, so a
+        ``False`` victim can only be a thread force-killed *outside*
+        the engine (``kernel.kill_thread`` called directly).  Such a
+        job did not complete; it is accounted as killed rather than
+        silently dropped.
+        """
         killed = 0
+        now = self.kernel.now
         for index, thread in self._victims(stream, count):
             if self.kernel.kill_thread(thread):
-                stream.killed += 1
                 killed += 1
+            # else: the victim is EXITED yet still live-tracked.
+            # Natural completion pops its own ``live`` entry at the
+            # exiting dispatch, and no simulation runs between the
+            # victim snapshot above and this call, so a ``False`` here
+            # can only be a thread force-killed outside the engine
+            # (``kernel.kill_thread`` called directly).  It did not
+            # complete — account it as killed either way, so
+            # spawned == completed + killed + live stays true.
+            stream.killed += 1
             stream.live.pop(index, None)
+            tag, spawn_us = stream.inflight.pop(index)
+            stream._finish(index, tag, spawn_us, now, "killed")
         return killed
 
     def repin(self, stream: JobStream, cpu: Optional[int],
@@ -466,15 +563,31 @@ class WorkloadEngine:
     def live_total(self) -> int:
         return sum(len(s.live) for s in self.streams)
 
+    def records(self) -> list[JobRecord]:
+        """Every stream's job records, in stream order.
+
+        Departure order within a stream is preserved; for a global
+        departure order sort by ``end_us`` (ties by stream then index).
+        """
+        out: list[JobRecord] = []
+        for stream in self.streams:
+            out.extend(stream.records)
+        return out
+
     def mean_sojourn_us(self) -> float:
-        """Mean sojourn across all completed jobs of all streams."""
+        """Mean sojourn across all completed jobs of all streams.
+
+        ``nan`` when no job of any stream ever completed (see
+        :meth:`JobStream.mean_sojourn_us`).
+        """
         total = 0
         count = 0
         for stream in self.streams:
-            total += sum(stream.sojourn_us)
-            count += len(stream.sojourn_us)
+            for sojourn in stream.completed_sojourns_us():
+                total += sojourn
+                count += 1
         if count == 0:
-            return 0.0
+            return float("nan")
         return total / count
 
 
@@ -611,6 +724,8 @@ def dispatch_fingerprint(kernel: "Kernel") -> str:
 
 
 __all__ = [
+    "JOB_OUTCOMES",
+    "JobRecord",
     "JobStream",
     "JobTemplate",
     "PhaseScript",

@@ -132,6 +132,70 @@ def test_json_flag_swallowing_scenario_name_is_caught(capsys):
     assert "overload64" in err and "--json" in err
 
 
+def _shrink_registry(monkeypatch, names=None):
+    """Clamp quick durations so CLI-level bench runs stay fast."""
+    for name in names or list(BENCH_REGISTRY):
+        monkeypatch.setitem(
+            BENCH_REGISTRY,
+            name,
+            dataclasses.replace(BENCH_REGISTRY[name], quick_sim_us=TINY_US),
+        )
+
+
+def test_typoed_scenario_as_json_path_warns(tmp_path, monkeypatch, capsys):
+    """`bench overlaod64 --json` (typo) is parsed as --json's output
+    path; exact matches are errors, near-misses must at least warn."""
+    _shrink_registry(monkeypatch, ["overload64"])
+    out_path = tmp_path / "overlaod64"
+    assert main(["bench", "overload64", "--quick", "--repeats", "1",
+                 "--json", str(out_path)]) == 0
+    err = capsys.readouterr().err
+    assert "looks like scenario" in err and "overload64" in err
+    # A clearly path-shaped value stays silent.
+    assert main(["bench", "overload64", "--quick", "--repeats", "1",
+                 "--json", str(tmp_path / "perf.json")]) == 0
+    assert "looks like scenario" not in capsys.readouterr().err
+
+
+class TestCompareCliGate:
+    def _baseline_with_ghost(self, tmp_path):
+        results = [run_scenario(BENCH_REGISTRY["overload64"], quick=True,
+                                repeats=1)]
+        baseline = bench_to_dict(results, quick=True, repeats=1)
+        ghost = dict(baseline["scenarios"][0], name="ghost_scenario")
+        baseline["scenarios"].append(ghost)
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(baseline))
+        return path
+
+    def test_full_compare_fails_on_missing_baseline_scenario(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A bare --compare claims full coverage, so a baseline scenario
+        the run failed to produce must fail the gate, not pass silently."""
+        _shrink_registry(monkeypatch)
+        path = self._baseline_with_ghost(tmp_path)
+        code = main(["bench", "--quick", "--repeats", "1",
+                     "--compare", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MISSING" in out
+        assert "ghost_scenario" in out
+
+    def test_subset_compare_ignores_unrequested_baseline_scenarios(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """`bench overload64 --compare` is an intentional partial run;
+        other baseline scenarios being absent is not a failure."""
+        _shrink_registry(monkeypatch, ["overload64"])
+        path = self._baseline_with_ghost(tmp_path)
+        code = main(["bench", "overload64", "--quick", "--repeats", "1",
+                     "--compare", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MISSING" not in out
+
+
 def test_quick_json_defaults_away_from_tracked_baseline(
     tmp_path, monkeypatch, capsys
 ):
@@ -185,14 +249,49 @@ class TestCompareAndHistory:
         assert c.regressed
 
     def test_compare_without_matching_scenario_is_informational(self):
-        from repro.bench import compare_to_baseline
+        """Fresh-but-not-in-baseline stays informational; the reverse
+        direction (baseline-but-not-fresh) is a MISSING row."""
+        from repro.bench import compare_to_baseline, format_compare_table
 
         results = self._results()
         baseline = bench_to_dict(results, quick=True, repeats=1)
         baseline["scenarios"][0]["name"] = "something_else"
-        (c,) = compare_to_baseline(results, baseline)
-        assert c.ratio is None
-        assert not c.regressed
+        fresh_only, ghost = compare_to_baseline(results, baseline)
+        assert fresh_only.name == results[0].name
+        assert fresh_only.ratio is None
+        assert not fresh_only.regressed
+        assert not fresh_only.missing
+        assert ghost.name == "something_else"
+        assert ghost.missing
+        assert ghost.ratio is None
+        assert not ghost.regressed
+        assert "MISSING" in format_compare_table([ghost])
+
+    def test_compare_reports_baseline_scenarios_missing_from_fresh(self):
+        """Regression test: a baseline scenario absent from the fresh
+        results used to be silently dropped, so a scenario crashing out
+        of the suite read as 'no regressions'."""
+        from repro.bench import compare_to_baseline
+
+        results = self._results()
+        baseline = bench_to_dict(results, quick=True, repeats=1)
+        ghost = dict(baseline["scenarios"][0], name="ghost_scenario")
+        baseline["scenarios"].append(ghost)
+        comparisons = compare_to_baseline(results, baseline)
+        assert [c.name for c in comparisons] == [results[0].name,
+                                                 "ghost_scenario"]
+        assert comparisons[1].missing
+        # An explicit expected subset suppresses unrelated ghosts …
+        comparisons = compare_to_baseline(
+            results, baseline, expected=[results[0].name]
+        )
+        assert [c.name for c in comparisons] == [results[0].name]
+        # … but still flags an expected scenario that went missing.
+        comparisons = compare_to_baseline(
+            results, baseline, expected=[results[0].name, "ghost_scenario"]
+        )
+        assert comparisons[-1].name == "ghost_scenario"
+        assert comparisons[-1].missing
 
     def test_compare_rejects_bad_baselines(self, tmp_path):
         from repro.bench import compare_to_baseline, load_bench_artifact

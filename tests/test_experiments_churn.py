@@ -24,6 +24,8 @@ CHURN_SCENARIOS = (
     "thundering_herd",
     "flash_crowd_rt",
     "trace_replay",
+    "response_curve",
+    "slo_flash_crowd",
 )
 
 
@@ -103,6 +105,55 @@ class TestScenarioShapes:
         )
         assert custom.metrics["trace_arrivals"] == 3
         assert custom.metrics["jobs_spawned"] == 3
+
+    def test_churn_results_carry_sojourn_percentiles(self):
+        result = REGISTRY.run("flash_crowd_rt", quick=True)
+        records = result.metadata["job_records"]
+        assert records, "the flash crowd must leave completion records"
+        outcomes = {record["outcome"] for record in records}
+        assert outcomes <= {"completed", "killed", "rejected"}
+        percentiles = result.metadata["sojourn_percentiles"]
+        assert "all" in percentiles and "rt" in percentiles
+        overall = percentiles["all"]
+        assert overall["p50_us"] <= overall["p95_us"] <= overall["p99_us"]
+        assert overall["p99_us"] <= overall["p999_us"] <= overall["max_us"]
+        # Headline percentiles are mirrored into the metrics table.
+        assert result.metrics["sojourn_p99_ms"] == overall["p99_us"] / 1_000.0
+
+    def test_response_curve_latency_rises_with_load(self):
+        result = REGISTRY.run("response_curve", quick=True)
+        points = result.metadata["response_curve"]
+        assert len(points) == 3
+        rates = [point["offered_per_s"] for point in points]
+        assert rates == sorted(rates)
+        p99s = [point["p99_us"] for point in points]
+        assert all(value is not None for value in p99s)
+        assert p99s[-1] > p99s[0], "tail latency must rise toward saturation"
+        assert "knee_offered_per_s" in result.metrics
+        assert "p99_sojourn_ms" in result.series
+
+    def test_slo_flash_crowd_compares_both_controllers(self):
+        result = REGISTRY.run("slo_flash_crowd", quick=True)
+        controllers = result.metadata["controllers"]
+        assert set(controllers) == {"pid", "slo"}
+        for name in ("pid", "slo"):
+            assert result.metrics[f"{name}_completed"] > 0
+            assert controllers[name]["dispatch_fingerprint"]
+        # The SLO loop must actually have actuated under the flash.
+        assert controllers["slo"]["slo_adjustments"] > 0
+        assert controllers["slo"]["final_job_ppt"] != controllers["pid"][
+            "final_job_ppt"
+        ]
+
+    def test_slo_pid_pass_is_flash_crowd_rt_verbatim(self):
+        """Same seed, same params: the slo experiment's pid pass must
+        replay flash_crowd_rt's exact dispatch log."""
+        slo = REGISTRY.run("slo_flash_crowd", quick=True)
+        flash = REGISTRY.run("flash_crowd_rt", quick=True)
+        assert (
+            slo.metadata["controllers"]["pid"]["dispatch_fingerprint"]
+            == flash.metadata["dispatch_fingerprint"]
+        )
 
     def test_default_trace_is_parseable_and_sorted(self):
         offsets = [

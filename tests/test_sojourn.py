@@ -1,0 +1,137 @@
+"""Unit tests for exact-rank sojourn percentiles and response curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sojourn import (
+    SLO_PERCENTILES,
+    ResponseCurvePoint,
+    SojournStats,
+    exact_rank_percentile,
+    response_curve_series,
+    sojourn_stats,
+    sojourn_stats_by_tag,
+)
+
+
+def _record(tag="web", outcome="completed", sojourn=1_000, **extra):
+    record = {
+        "stream": "s",
+        "index": 0,
+        "tag": tag,
+        "spawn_us": 0,
+        "end_us": sojourn,
+        "outcome": outcome,
+        "sojourn_us": sojourn,
+    }
+    record.update(extra)
+    return record
+
+
+class TestExactRankPercentile:
+    def test_single_sample_is_every_percentile(self):
+        for percent in (0, 50, 99, 99.9, 100):
+            assert exact_rank_percentile([42], percent) == 42
+
+    def test_nearest_rank_definition(self):
+        values = list(range(1, 101))  # 1..100
+        assert exact_rank_percentile(values, 50) == 50
+        assert exact_rank_percentile(values, 95) == 95
+        assert exact_rank_percentile(values, 99) == 99
+        assert exact_rank_percentile(values, 99.9) == 100
+        assert exact_rank_percentile(values, 100) == 100
+        assert exact_rank_percentile(values, 0) == 1
+
+    def test_result_is_always_an_observed_sample(self):
+        values = [3, 7, 1000]
+        for percent in (10, 50, 90, 99, 99.9):
+            assert exact_rank_percentile(values, percent) in values
+
+    def test_empty_and_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            exact_rank_percentile([], 50)
+        with pytest.raises(ValueError, match="percent"):
+            exact_rank_percentile([1], 101)
+        with pytest.raises(ValueError, match="percent"):
+            exact_rank_percentile([1], -1)
+
+
+class TestSojournStats:
+    def test_counts_and_percentiles(self):
+        records = [_record(sojourn=us) for us in (100, 200, 300, 400)]
+        records.append(_record(outcome="killed", sojourn=50))
+        records.append(_record(outcome="rejected", sojourn=0))
+        stats = sojourn_stats(records, tag="web")
+        assert stats.completed == 4
+        assert stats.killed == 1
+        assert stats.rejected == 1
+        assert stats.mean_us == 250.0
+        assert stats.min_us == 100 and stats.max_us == 400
+        assert stats.p50_us == 200
+        # Only *completed* jobs contribute latency samples.
+        assert stats.p99_us == 400
+
+    def test_no_completions_yields_none_latencies(self):
+        records = [_record(outcome="rejected", sojourn=0)] * 3
+        stats = sojourn_stats(records, tag="web")
+        assert stats.completed == 0 and stats.rejected == 3
+        assert stats.mean_us is None
+        assert stats.p50_us is None and stats.p999_us is None
+        # The dict form keeps the Nones (rendered as absent downstream).
+        assert stats.to_dict()["p99_us"] is None
+
+    def test_round_trips_to_dict(self):
+        stats = sojourn_stats([_record(sojourn=5)], tag="t")
+        data = stats.to_dict()
+        assert data["tag"] == "t"
+        assert data["completed"] == 1
+        assert data["p999_us"] == 5
+
+    def test_slo_percentiles_are_the_standard_four(self):
+        assert SLO_PERCENTILES == (50.0, 95.0, 99.0, 99.9)
+
+
+class TestSojournStatsByTag:
+    def test_aggregate_first_then_sorted_tags(self):
+        records = [
+            _record(tag="web", sojourn=100),
+            _record(tag="batch", sojourn=900),
+            _record(tag="web", sojourn=300),
+        ]
+        stats = sojourn_stats_by_tag(records)
+        assert list(stats) == ["all", "batch", "web"]
+        assert stats["all"].completed == 3
+        assert stats["web"].completed == 2
+        assert stats["batch"].p50_us == 900
+
+    def test_empty_records_give_empty_mapping(self):
+        assert sojourn_stats_by_tag([]) == {}
+
+
+class TestResponseCurve:
+    def test_point_dict_flattens_stats(self):
+        stats = sojourn_stats([_record(sojourn=1_000)], tag="web")
+        point = ResponseCurvePoint(offered_per_s=50.0, stats=stats)
+        data = point.to_dict()
+        assert data["offered_per_s"] == 50.0
+        assert data["p99_us"] == 1_000
+
+    def test_series_skips_saturated_points(self):
+        good = ResponseCurvePoint(
+            50.0, sojourn_stats([_record(sojourn=2_000)], tag="w")
+        ).to_dict()
+        # Past saturation nothing completes: the point has no p99.
+        saturated = ResponseCurvePoint(
+            500.0, sojourn_stats([_record(outcome="killed")], tag="w")
+        ).to_dict()
+        rates, values = response_curve_series([good, saturated])
+        assert rates == [50.0]
+        assert values == [2.0]  # microseconds rendered as milliseconds
+
+    def test_series_field_selectable(self):
+        point = ResponseCurvePoint(
+            10.0, sojourn_stats([_record(sojourn=4_000)], tag="w")
+        ).to_dict()
+        _, p50 = response_curve_series([point], field="p50_us")
+        assert p50 == [4.0]

@@ -190,11 +190,85 @@ class TestWorkloadEngine:
         assert stream.completed >= 5
         assert stream.rejected == 0
         assert len(stream.live) == stream.spawned - stream.completed
-        assert len(stream.sojourn_us) == stream.completed
+        done = [r for r in stream.records if r.outcome == "completed"]
+        assert len(done) == stream.completed
+        assert len(stream.inflight) == len(stream.live)
         assert stream.mean_sojourn_us() > 0
+        # Every record carries the tag and a consistent timeline.
+        for record in done:
+            assert record.tag == "j"
+            assert record.end_us >= record.spawn_us
+            assert record.sojourn_us == record.end_us - record.spawn_us
         # Completed jobs really exited and their names are unique.
         names = [t.name for t in kernel.threads]
         assert len(names) == len(set(names))
+
+    def test_kill_records_every_victim(self):
+        kernel, engine = self._bare()
+        stream = engine.add_stream(
+            "jobs",
+            DeterministicArrivals(5_000),
+            JobTemplate("j", total_cpu_us=500_000, burst_us=1_000),
+        )
+        engine.start()
+        kernel.run_for(20_000)
+        assert len(stream.live) >= 3
+        live_before = len(stream.live)
+        assert engine.kill(stream) == live_before
+        assert stream.killed == live_before
+        assert not stream.live and not stream.inflight
+        killed_records = [r for r in stream.records if r.outcome == "killed"]
+        assert len(killed_records) == live_before
+        for record in killed_records:
+            assert record.end_us == kernel.now
+            assert record.sojourn_us >= 0
+
+    def test_out_of_band_kill_does_not_corrupt_accounting(self):
+        """Regression: a thread force-killed behind the engine's back
+        (``kernel.kill_thread`` called directly) used to be popped from
+        ``live`` without being counted, breaking the
+        spawned == completed + killed + live invariant."""
+        kernel, engine = self._bare()
+        stream = engine.add_stream(
+            "jobs",
+            DeterministicArrivals(5_000),
+            JobTemplate("j", total_cpu_us=500_000, burst_us=1_000),
+        )
+        engine.start()
+        kernel.run_for(20_000)
+        live_before = len(stream.live)
+        assert live_before >= 2
+        # Kill one live thread out of band; the engine does not see it.
+        first_index = next(iter(stream.live))
+        assert kernel.kill_thread(stream.live[first_index])
+        # The engine's own kill now hits an already-EXITED victim.
+        assert engine.kill(stream) == live_before - 1
+        # …but the victim is still accounted (it did not complete).
+        assert stream.killed == live_before
+        assert not stream.live and not stream.inflight
+        assert stream.spawned == (
+            stream.completed + stream.killed + len(stream.live)
+        )
+        assert len(stream.records) == stream.completed + stream.killed
+
+    def test_mean_sojourn_is_nan_without_completions(self):
+        """Regression: a stream that never finished anything used to
+        report a 0.0 mean sojourn — indistinguishable from an
+        infinitely fast one."""
+        import math
+
+        kernel, engine = self._bare()
+        stream = engine.add_stream(
+            "jobs",
+            DeterministicArrivals(5_000),
+            JobTemplate("j", total_cpu_us=500_000, burst_us=1_000),
+        )
+        engine.start()
+        kernel.run_for(20_000)
+        assert stream.completed == 0 and stream.spawned > 0
+        assert math.isnan(stream.mean_sojourn_us())
+        assert math.isnan(engine.mean_sojourn_us())
+        assert stream.completed_sojourns_us() == []
 
     def test_max_arrivals_and_stop_us(self):
         kernel, engine = self._bare()
