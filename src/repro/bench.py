@@ -346,6 +346,25 @@ class BenchResult:
             "threads_completed": self.threads_completed,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchResult":
+        """Rebuild from the :meth:`to_dict` form.
+
+        The derived ``wall_s_min`` / ``sim_us_per_wall_s`` keys are
+        recomputed from ``wall_s``, not read back.
+        """
+        return cls(
+            name=str(payload["name"]),
+            description=str(payload.get("description", "")),
+            sim_us=int(payload["sim_us"]),
+            repeats=int(payload["repeats"]),
+            wall_s=[float(w) for w in payload["wall_s"]],
+            dispatches=int(payload.get("dispatches", 0)),
+            n_threads=int(payload.get("n_threads", 0)),
+            engine=str(payload.get("engine", "")),
+            threads_completed=int(payload.get("threads_completed", 0)),
+        )
+
 
 def run_scenario(
     scenario: BenchScenario, *, quick: bool = False, repeats: int = 3
@@ -362,9 +381,10 @@ def run_scenario(
     )
     for _ in range(repeats):
         run = scenario.build(sim_us)
+        # repro-lint: disable=determinism -- wall-clock timing IS the benchmark's measurement; it never feeds simulated state
         start = time.perf_counter()
         kernel = run()
-        result.wall_s.append(time.perf_counter() - start)
+        result.wall_s.append(time.perf_counter() - start)  # repro-lint: disable=determinism -- benchmark wall timing, as above
         result.dispatches = getattr(kernel, "dispatch_count", 0)
         result.n_threads = len(getattr(kernel, "threads", ()))
         result.engine = getattr(kernel, "engine", "")

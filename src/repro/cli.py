@@ -246,6 +246,12 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.staticcheck.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     artifact = load_report_artifact(args.artifact)
     markdown = render_report(artifact)
@@ -516,6 +522,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the markdown to PATH (default '-': stdout)",
     )
     p_report.set_defaults(handler=_cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project-specific static checks (repro.staticcheck)",
+    )
+    from repro.staticcheck.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -26,7 +26,7 @@ system and models its own CPU cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Optional
 
 from repro.core.config import PROPORTION_SCALE, ControllerConfig
 from repro.core.errors import AdmissionError, ControllerError, QualityException

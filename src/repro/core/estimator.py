@@ -20,6 +20,9 @@ range; the minimum is what guarantees the paper's starvation-freedom
 property.
 """
 
+# float-order: exact — the estimation law replays the PID arithmetic;
+# reassociating it would break golden-trace equality.
+
 from __future__ import annotations
 
 from typing import NamedTuple

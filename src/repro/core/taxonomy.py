@@ -21,7 +21,7 @@ interfaces at runtime.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.errors import ControllerError

@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import build_real_rate_system
@@ -48,6 +49,7 @@ def _low_rate_params() -> PulseParameters:
               help="virtual seconds simulated per part"),
         Param("seed", kind="int", default=None, help="RNG seed (recorded; "
               "the low-rate pipeline is fully deterministic)"),
+        ENGINE_PARAM,
     ),
     quick={"sim_seconds": 4.0},
 )
@@ -55,12 +57,16 @@ def ablation_period_experiment(
     *,
     sim_seconds: float = 10.0,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Exercise period adaptation and enforcement-granularity effects."""
     # --- Part 1: period adaptation on a low-rate consumer -------------
     adapt_config = ControllerConfig(adapt_period=True)
-    system = build_real_rate_system(adapt_config)
+    system = build_real_rate_system(
+        adapt_config, record_dispatches=True, engine=engine
+    )
+    kernels = [system.kernel]
     params = _low_rate_params()
     schedule = PulseSchedule([], default_rate=params.base_rate_bytes_per_cpu_us)
     # The consumer must not specify a period or the heuristic is bypassed.
@@ -78,7 +84,13 @@ def ablation_period_experiment(
     # --- Part 2: enforcement granularity -------------------------------
     overruns: dict[str, float] = {}
     for label, enforce in (("dispatch_granularity", False), ("exact", True)):
-        sys2 = build_real_rate_system(config, enforce_within_slice=enforce)
+        sys2 = build_real_rate_system(
+            config,
+            enforce_within_slice=enforce,
+            record_dispatches=True,
+            engine=engine,
+        )
+        kernels.append(sys2.kernel)
         pipe2 = PulsePipeline.attach(
             sys2,
             schedule=PulseSchedule([], default_rate=0.01),
@@ -103,7 +115,7 @@ def ablation_period_experiment(
             "overrun_exact_enforcement": overruns["exact"],
         },
     )
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, *kernels, seed=seed)
     result.notes.append(
         "with a small proportion the heuristic grows the period above the "
         "30 ms default to reduce quantisation error; exact enforcement "

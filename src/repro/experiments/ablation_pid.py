@@ -18,8 +18,10 @@ from repro.analysis.response import step_response
 from repro.analysis.results import ExperimentResult
 from repro.analysis.series import mean_absolute_deviation
 from repro.core.config import ControllerConfig
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
+from repro.sim.kernel import Kernel
 from repro.swift.pid import PIDGains
 from repro.system import build_real_rate_system
 from repro.workloads.pulse import PulseParameters, PulsePipeline, PulseSchedule
@@ -52,10 +54,12 @@ DEFAULT_GAIN_LABELS = tuple(label for label, _, _, _ in DEFAULT_GAIN_SETTINGS)
 
 def _evaluate(
     kp: float, ki: float, kd: float, *, pulse_at_s: float = 3.0,
-    sim_seconds: float = 8.0,
-) -> tuple[float, float, float]:
+    sim_seconds: float = 8.0, engine: str = "horizon",
+) -> tuple[float, float, float, Kernel]:
     config = ControllerConfig(pid_gains=PIDGains(kp=kp, ki=ki, kd=kd))
-    system = build_real_rate_system(config)
+    system = build_real_rate_system(
+        config, record_dispatches=True, engine=engine
+    )
     params = PulseParameters()
     schedule = PulseSchedule.paper_figure6(
         params.base_rate_bytes_per_cpu_us,
@@ -82,7 +86,7 @@ def _evaluate(
         [p.value for p in fill if p.time_s > 2.0], 0.5
     )
     rise = response.rise_time_s if response.rise_time_s is not None else float("inf")
-    return rise, response.overshoot_fraction, fill_mad
+    return rise, response.overshoot_fraction, fill_mad, system.kernel
 
 
 @experiment(
@@ -99,6 +103,7 @@ def _evaluate(
               help="virtual seconds simulated per gain setting"),
         Param("seed", kind="int", default=None, help="RNG seed (recorded; "
               "the pulse workload is fully deterministic)"),
+        ENGINE_PARAM,
     ),
     quick={"labels": ("low", "high"), "sim_seconds": 6.0},
 )
@@ -107,6 +112,7 @@ def ablation_pid_experiment(
     labels: Sequence[str] = DEFAULT_GAIN_LABELS,
     sim_seconds: float = 8.0,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     settings: Optional[Sequence[tuple[str, float, float, float]]] = None,
 ) -> ExperimentResult:
     """Sweep PID gains on the pulse workload.
@@ -123,8 +129,12 @@ def ablation_pid_experiment(
             )
         settings = tuple(by_label[label] for label in labels)
     outcomes: list[GainOutcome] = []
+    kernels = []
     for label, kp, ki, kd in settings:
-        rise, overshoot, fill_mad = _evaluate(kp, ki, kd, sim_seconds=sim_seconds)
+        rise, overshoot, fill_mad, kernel = _evaluate(
+            kp, ki, kd, sim_seconds=sim_seconds, engine=engine
+        )
+        kernels.append(kernel)
         outcomes.append(
             GainOutcome(
                 label=label, kp=kp, ki=ki, kd=kd,
@@ -145,7 +155,7 @@ def ablation_pid_experiment(
         list(range(len(outcomes))),
         [o.response_time_s for o in outcomes],
     )
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, *kernels, seed=seed)
     result.notes.append(
         "settings: " + ", ".join(
             f"{o.label}(kp={o.kp}, ki={o.ki}, kd={o.kd})" for o in outcomes

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
 from repro.core.overload import FairShareSquish, WeightedFairShareSquish
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import build_real_rate_system
@@ -37,6 +38,8 @@ def _run_with_policy(
     sim_seconds: float,
     config: Optional[ControllerConfig],
     seed: Optional[int],
+    engine: str,
+    kernels: list,
 ) -> dict[str, float]:
     cfg = config if config is not None else ControllerConfig()
     if policy_name == "fair":
@@ -45,7 +48,10 @@ def _run_with_policy(
         policy = WeightedFairShareSquish(cfg.min_proportion_ppt)
     else:
         raise ValueError(f"unknown squish policy {policy_name!r}")
-    system = build_real_rate_system(cfg, squish_policy=policy)
+    system = build_real_rate_system(
+        cfg, squish_policy=policy, record_dispatches=True, engine=engine
+    )
+    kernels.append(system.kernel)
     hogs = [
         CpuHog.attach(
             system,
@@ -75,6 +81,7 @@ def _run_with_policy(
               help="virtual seconds simulated per policy"),
         Param("seed", kind="int", default=None,
               help="seeds the hogs' burst-length jitter"),
+        ENGINE_PARAM,
     ),
     quick={"sim_seconds": 4.0},
 )
@@ -83,6 +90,7 @@ def ablation_squish_experiment(
     importances: Sequence[float] = DEFAULT_IMPORTANCES,
     sim_seconds: float = 8.0,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Compare fair-share and weighted-fair-share squishing."""
@@ -90,9 +98,13 @@ def ablation_squish_experiment(
         experiment_id="ablation_squish",
         title="Overload squishing: fair share vs. weighted fair share",
     )
+    kernels: list = []
     for policy_name in ("fair", "weighted"):
         result.metrics.update(
-            _run_with_policy(policy_name, importances, sim_seconds, config, seed)
+            _run_with_policy(
+                policy_name, importances, sim_seconds, config, seed,
+                engine, kernels,
+            )
         )
 
     # Convenience ratios used by the benchmarks.
@@ -109,7 +121,7 @@ def ablation_squish_experiment(
         weighted_top / weighted_base if weighted_base > 0 else float("inf")
     )
     result.metrics["importance_ratio"] = top / base
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, *kernels, seed=seed)
     result.notes.append(
         "under plain fair share equally-greedy hogs end up with equal shares "
         "regardless of importance; under weighted fair share the shares "

@@ -32,6 +32,7 @@ from typing import Optional
 from repro.analysis.results import ExperimentResult
 from repro.analysis.sojourn import sojourn_stats_by_tag
 from repro.core.taxonomy import ThreadSpec
+from repro.experiments.params import ENGINE_PARAM
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import RealRateSystem, build_real_rate_system
@@ -44,13 +45,9 @@ from repro.workloads.engine import (
 )
 from repro.workloads.webfarm import WebFarm
 
-#: Shared ``engine`` parameter: which kernel time-advancement engine to
-#: run (the quantum-sliced oracle is exposed so conformance tests and
-#: curious users can diff the two).
-_ENGINE_PARAM = Param(
-    "engine", kind="str", default="horizon", choices=("horizon", "quantum"),
-    help="kernel time-advancement engine (quantum = differential oracle)",
-)
+#: Back-compat alias; the canonical declaration moved to
+#: :mod:`repro.experiments.params` so every experiment shares it.
+_ENGINE_PARAM = ENGINE_PARAM
 
 #: Sampling period for the live-thread-count trace series.
 _LIVE_SAMPLE_US = 10_000
@@ -290,6 +287,8 @@ def tidal_pipeline_experiment(
         Param("wave_interval_s", kind="float", default=0.5, minimum=0.01),
         Param("job_cpu_us", kind="int", default=3_000, minimum=1),
         Param("duration_s", kind="float", default=2.2, minimum=0.05),
+        Param("seed", kind="int", default=None, help="RNG seed (recorded; "
+              "the herd trace is fully deterministic)"),
         _ENGINE_PARAM,
     ),
     quick={"herd_size": 15, "n_waves": 2, "wave_interval_s": 0.15,
@@ -303,6 +302,7 @@ def thundering_herd_experiment(
     wave_interval_s: float = 0.5,
     job_cpu_us: int = 3_000,
     duration_s: float = 2.2,
+    seed: Optional[int] = None,
     engine: str = "horizon",
 ) -> ExperimentResult:
     """Every wave drops ``herd_size`` jobs on the system at one instant.
@@ -339,7 +339,7 @@ def thundering_herd_experiment(
     result.metrics["herd_size"] = float(herd_size)
     result.metrics["n_waves"] = float(n_waves)
     _churn_metrics(result, system, churn)
-    result.metadata["seed"] = None
+    result.metadata["seed"] = seed
     result.notes.append(
         "all arrivals of a wave share one virtual timestamp; the spike is "
         "absorbed by the run-queue and drained before the next wave iff "
@@ -509,6 +509,8 @@ DEFAULT_TRACE = _default_trace()
                    "'offset_us tag' with tags web, batch, rt"),
         Param("n_cpus", kind="int", default=1, minimum=1, maximum=64),
         Param("duration_s", kind="float", default=1.0, minimum=0.05),
+        Param("seed", kind="int", default=None, help="RNG seed (recorded; "
+              "trace replay is fully deterministic)"),
         _ENGINE_PARAM,
     ),
     quick={"duration_s": 0.4},
@@ -518,6 +520,7 @@ def trace_replay_experiment(
     trace_file: str = "",
     n_cpus: int = 1,
     duration_s: float = 1.0,
+    seed: Optional[int] = None,
     engine: str = "horizon",
 ) -> ExperimentResult:
     """Drive the system with a recorded arrival trace.
@@ -559,7 +562,7 @@ def trace_replay_experiment(
     )
     result.metrics["trace_arrivals"] = float(len(trace.entries))
     _churn_metrics(result, system, churn)
-    result.metadata["seed"] = None
+    result.metadata["seed"] = seed
     result.metadata["trace_file"] = trace_file or "<built-in>"
     result.notes.append(
         "replayed traces make production traffic shapes reproducible "

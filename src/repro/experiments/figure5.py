@@ -27,6 +27,7 @@ from repro.analysis.regression import linear_fit
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
 from repro.core.taxonomy import ThreadSpec
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.sim.requests import Sleep
@@ -71,6 +72,7 @@ def _dummy_body(env):
         ),
         Param("seed", kind="int", default=None, help="RNG seed (recorded; "
               "this driver's dummy population is fully deterministic)"),
+        ENGINE_PARAM,
     ),
     quick={"process_counts": (0, 10, 20, 30), "sim_seconds": 0.5},
 )
@@ -80,12 +82,14 @@ def figure5_experiment(
     controller_period_us: int = 10_000,
     sim_seconds: float = 2.0,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 5: controller overhead vs. controlled processes."""
     counts: list[float] = []
     modeled_overheads: list[float] = []
     measured_wall_us: list[float] = []
+    kernels = []
 
     for count in process_counts:
         cfg = config if config is not None else ControllerConfig(
@@ -94,7 +98,10 @@ def figure5_experiment(
         system = build_real_rate_system(
             cfg,
             charge_dispatch_overhead=False,
+            record_dispatches=True,
+            engine=engine,
         )
+        kernels.append(system.kernel)
         for index in range(count):
             system.spawn_controlled(
                 f"dummy{index}", _dummy_body, spec=ThreadSpec()
@@ -127,7 +134,7 @@ def figure5_experiment(
     )
     result.add_series("modeled_overhead_vs_processes", counts, modeled_overheads)
     result.add_series("measured_wall_us_vs_processes", counts, measured_wall_us)
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, *kernels, seed=seed)
     result.notes.append(
         "modeled overhead uses the per-process/fixed cost calibrated from the "
         "paper (6.6 us + 5.7 us at a 10 ms period); the measured series is the "

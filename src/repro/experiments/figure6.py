@@ -28,6 +28,7 @@ from repro.analysis.response import step_response
 from repro.analysis.results import ExperimentResult
 from repro.analysis.series import mean_absolute_deviation, rate_from_cumulative
 from repro.core.config import ControllerConfig
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import RealRateSystem, build_real_rate_system
@@ -167,6 +168,7 @@ def _collect(
               help="CPUs in the simulated kernel"),
         Param("seed", kind="int", default=None, help="RNG seed (recorded; "
               "the pulse pipeline is fully deterministic)"),
+        ENGINE_PARAM,
     ),
     quick={"small_schedule": True},
 )
@@ -176,6 +178,7 @@ def figure6_experiment(
     extra_seconds: float = 1.0,
     n_cpus: int = 1,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
     params: Optional[PulseParameters] = None,
     schedule: Optional[PulseSchedule] = None,
@@ -189,7 +192,9 @@ def figure6_experiment(
             schedule = PulseSchedule.paper_figure6(
                 params.base_rate_bytes_per_cpu_us
             )
-    system = build_real_rate_system(config, n_cpus=n_cpus)
+    system = build_real_rate_system(
+        config, n_cpus=n_cpus, record_dispatches=True, engine=engine
+    )
     pipeline = PulsePipeline.attach(system, schedule=schedule, params=params)
     _instrument(system, pipeline)
     system.run_for(schedule.end_us() + seconds(extra_seconds))
@@ -200,7 +205,7 @@ def figure6_experiment(
         paper_values={"response_time_s": PAPER_RESPONSE_TIME_S},
     )
     _collect(system, pipeline, schedule, result)
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, system.kernel, seed=seed)
     result.notes.append(
         "byte rates depend on the simulated CPU's quantisation overrun and so "
         "differ in absolute value from the paper's; the reproduced claims are "

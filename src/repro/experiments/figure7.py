@@ -20,6 +20,7 @@ from typing import Optional
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
 from repro.experiments.figure6 import _collect, _instrument, small_figure6_schedule
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import build_real_rate_system
@@ -62,6 +63,7 @@ def _correlation(xs: list[float], ys: list[float]) -> float:
               help="CPUs in the simulated kernel"),
         Param("seed", kind="int", default=None,
               help="seeds the hog's burst-length jitter"),
+        ENGINE_PARAM,
     ),
     quick={"small_schedule": True},
 )
@@ -72,6 +74,7 @@ def figure7_experiment(
     extra_seconds: float = 1.0,
     n_cpus: int = 1,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
     params: Optional[PulseParameters] = None,
     schedule: Optional[PulseSchedule] = None,
@@ -85,7 +88,9 @@ def figure7_experiment(
             schedule = PulseSchedule.paper_figure6(
                 params.base_rate_bytes_per_cpu_us
             )
-    system = build_real_rate_system(config, n_cpus=n_cpus)
+    system = build_real_rate_system(
+        config, n_cpus=n_cpus, record_dispatches=True, engine=engine
+    )
     pipeline = PulsePipeline.attach(system, schedule=schedule, params=params)
     hog = CpuHog.attach(system, importance=hog_importance, seed=seed)
     _instrument(system, pipeline)
@@ -131,7 +136,7 @@ def figure7_experiment(
     result.metrics["consumer_hog_allocation_correlation"] = _correlation(
         consumer_alloc.values()[: n], hog_alloc.values()[: n]
     )
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, system.kernel, seed=seed)
     result.notes.append(
         "the hog's allocation mirrors the consumer's (strongly negative "
         "correlation): when the producer speeds up, the consumer's growing "

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 from repro.analysis.results import ExperimentResult
 from repro.analysis.series import find_knee
 from repro.core.config import ControllerConfig
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import US_PER_SEC, seconds
 from repro.sim.cpu import CPUModel
@@ -56,8 +57,8 @@ def _grabber_body(env):
 
 
 def _available_fraction(
-    frequency_hz: float, sim_seconds: float, cpu: CPUModel
-) -> float:
+    frequency_hz: float, sim_seconds: float, cpu: CPUModel, engine: str
+) -> tuple[float, Kernel]:
     """Fraction of the CPU a greedy thread obtains at a dispatch frequency."""
     dispatch_interval_us = max(1, int(round(US_PER_SEC / frequency_hz)))
     scheduler = ReservationScheduler()
@@ -66,11 +67,13 @@ def _available_fraction(
         cpu=cpu,
         dispatch_interval_us=dispatch_interval_us,
         charge_dispatch_overhead=True,
+        record_dispatches=True,
+        engine=engine,
     )
     grabber = SimThread("grabber", _grabber_body, policy=SchedulingPolicy.BEST_EFFORT)
     kernel.add_thread(grabber)
     kernel.run_for(seconds(sim_seconds))
-    return grabber.accounting.total_us / kernel.now
+    return grabber.accounting.total_us / kernel.now, kernel
 
 
 @experiment(
@@ -93,6 +96,7 @@ def _available_fraction(
         ),
         Param("seed", kind="int", default=None, help="RNG seed (recorded; "
               "the grabber workload is fully deterministic)"),
+        ENGINE_PARAM,
     ),
     quick={
         "frequencies_hz": (100, 1_000, 2_000, 4_000, 8_000, 10_000),
@@ -106,6 +110,7 @@ def figure8_experiment(
     dispatch_cost_us: float = CALIBRATED_BASE_COST_US,
     dispatch_cost_quadratic_us: float = CALIBRATED_QUADRATIC_COST_US,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Reproduce Figure 8: available CPU vs. dispatcher frequency."""
@@ -117,8 +122,12 @@ def figure8_experiment(
     )
 
     fractions: dict[float, float] = {}
+    kernels = []
     for frequency in frequencies_hz:
-        fractions[frequency] = _available_fraction(frequency, sim_seconds, cpu)
+        fractions[frequency], kernel = _available_fraction(
+            frequency, sim_seconds, cpu, engine
+        )
+        kernels.append(kernel)
 
     baseline = fractions[BASELINE_FREQUENCY_HZ]
     frequencies = sorted(fractions)
@@ -153,7 +162,7 @@ def figure8_experiment(
         list(frequencies),
         [fractions[f] for f in frequencies],
     )
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, *kernels, seed=seed)
     result.notes.append(
         "per-dispatch cost calibrated so a 4 kHz dispatcher loses ~2.7% of "
         "the CPU (the paper's knee) and a 10 kHz dispatcher ~15%; the "

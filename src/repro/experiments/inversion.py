@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sched.priority import FixedPriorityScheduler
 from repro.sim.clock import seconds
@@ -32,21 +33,30 @@ from repro.system import build_real_rate_system
 from repro.workloads.inversion import InversionScenario
 
 
-def _run_priority(sim_seconds: float, inheritance: bool) -> tuple[InversionScenario, int]:
+def _run_priority(
+    sim_seconds: float, inheritance: bool, engine: str
+) -> tuple[InversionScenario, Kernel]:
     scheduler = FixedPriorityScheduler(priority_inheritance=inheritance)
-    kernel = Kernel(scheduler, charge_dispatch_overhead=False)
+    kernel = Kernel(
+        scheduler,
+        charge_dispatch_overhead=False,
+        record_dispatches=True,
+        engine=engine,
+    )
     scenario = InversionScenario().attach_priority(kernel)
     kernel.run_for(seconds(sim_seconds))
-    return scenario, kernel.now
+    return scenario, kernel
 
 
 def _run_real_rate(
-    sim_seconds: float, config: Optional[ControllerConfig]
-) -> tuple[InversionScenario, int]:
-    system = build_real_rate_system(config)
+    sim_seconds: float, config: Optional[ControllerConfig], engine: str
+) -> tuple[InversionScenario, Kernel]:
+    system = build_real_rate_system(
+        config, record_dispatches=True, engine=engine
+    )
     scenario = InversionScenario().attach_real_rate(system)
     system.run_for(seconds(sim_seconds))
-    return scenario, system.now
+    return scenario, system.kernel
 
 
 @experiment(
@@ -58,6 +68,7 @@ def _run_real_rate(
               help="virtual seconds simulated per scheduler"),
         Param("seed", kind="int", default=None, help="RNG seed (recorded; "
               "the inversion scenario is fully deterministic)"),
+        ENGINE_PARAM,
     ),
     quick={"sim_seconds": 4.0},
 )
@@ -65,12 +76,14 @@ def inversion_experiment(
     *,
     sim_seconds: float = 10.0,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Compare the inversion scenario across the three schedulers."""
-    no_pi, now_a = _run_priority(sim_seconds, inheritance=False)
-    with_pi, now_b = _run_priority(sim_seconds, inheritance=True)
-    real_rate, now_c = _run_real_rate(sim_seconds, config)
+    no_pi, kernel_a = _run_priority(sim_seconds, inheritance=False, engine=engine)
+    with_pi, kernel_b = _run_priority(sim_seconds, inheritance=True, engine=engine)
+    real_rate, kernel_c = _run_real_rate(sim_seconds, config, engine)
+    now_a, now_b, now_c = kernel_a.now, kernel_b.now, kernel_c.now
 
     result = ExperimentResult(
         experiment_id="inversion",
@@ -101,7 +114,7 @@ def inversion_experiment(
         "without any mutex-specific mechanism because the low task is never "
         "starved."
     )
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, kernel_a, kernel_b, kernel_c, seed=seed)
     return result
 
 

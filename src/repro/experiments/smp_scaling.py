@@ -32,6 +32,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.results import ExperimentResult
 from repro.core.config import PROPORTION_SCALE, ControllerConfig
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.system import build_real_rate_system
@@ -63,6 +64,7 @@ DEFAULT_CPU_COUNTS = (1, 2, 4, 8)
               help="pin server i to CPU i % n_cpus"),
         Param("seed", kind="int", default=None,
               help="seeds per-server arrival jitter (None = periodic)"),
+        ENGINE_PARAM,
     ),
     quick={"n_cpus": (1, 2), "duration_s": 1.0},
 )
@@ -75,6 +77,7 @@ def smp_scaling_experiment(
     duration_s: float = 3.0,
     pin: bool = False,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Sweep the web farm over kernels with increasing CPU counts."""
@@ -87,13 +90,17 @@ def smp_scaling_experiment(
 
     throughputs: list[float] = []
     peak_granted: list[float] = []
+    kernels = []
     result = ExperimentResult(
         experiment_id="smp_scaling",
         title="Web-farm throughput vs CPU count (SMP extension)",
     )
 
     for count in cpu_counts:
-        system = build_real_rate_system(config, n_cpus=count)
+        system = build_real_rate_system(
+            config, n_cpus=count, record_dispatches=True, engine=engine
+        )
+        kernels.append(system.kernel)
         farm = WebFarm.attach(
             system,
             n_servers=n_servers,
@@ -138,7 +145,7 @@ def smp_scaling_experiment(
     result.add_series(
         "peak_granted_ppt_vs_cpus", [float(n) for n in cpu_counts], peak_granted
     )
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, *kernels, seed=seed)
     result.notes.append(
         "extension beyond the paper: the single-CPU prototype cannot run this; "
         "the reproduced claim is that feedback-driven proportion allocation "

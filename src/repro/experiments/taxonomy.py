@@ -23,6 +23,7 @@ from typing import Optional
 from repro.analysis.results import ExperimentResult
 from repro.core.config import ControllerConfig
 from repro.core.taxonomy import ThreadClass, ThreadSpec
+from repro.experiments.params import ENGINE_PARAM, stamp_reproducibility
 from repro.experiments.registry import Param, experiment
 from repro.sim.clock import seconds
 from repro.sim.requests import Compute, Sleep
@@ -53,6 +54,7 @@ def _aperiodic_body(env):
               help="CPUs in the simulated kernel"),
         Param("seed", kind="int", default=None,
               help="seeds the miscellaneous hog's burst-length jitter"),
+        ENGINE_PARAM,
     ),
     quick={"sim_seconds": 4.0},
 )
@@ -61,10 +63,13 @@ def taxonomy_experiment(
     sim_seconds: float = 10.0,
     n_cpus: int = 1,
     seed: Optional[int] = None,
+    engine: str = "horizon",
     config: Optional[ControllerConfig] = None,
 ) -> ExperimentResult:
     """Run one thread of each Figure 2 class and report the outcome."""
-    system = build_real_rate_system(config, n_cpus=n_cpus)
+    system = build_real_rate_system(
+        config, n_cpus=n_cpus, record_dispatches=True, engine=engine
+    )
 
     # Real-time + real-rate: the pulse pipeline provides one of each
     # (producer = real-time reservation, consumer = real-rate).
@@ -130,7 +135,7 @@ def taxonomy_experiment(
         result.metrics[f"class_is_real_time:{name}"] = float(
             decision.thread_class is ThreadClass.REAL_TIME
         )
-    result.metadata["seed"] = seed
+    stamp_reproducibility(result, system.kernel, seed=seed)
     return result
 
 

@@ -17,7 +17,7 @@ not have to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.ipc.bounded_buffer import Channel
 from repro.ipc.roles import Role

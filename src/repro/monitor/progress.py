@@ -14,11 +14,10 @@ passes through the PID block G.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Optional
 
 from repro.ipc.bounded_buffer import Channel
 from repro.ipc.registry import Linkage, SymbioticRegistry
-from repro.ipc.roles import Role
 from repro.sim.thread import SimThread
 
 #: The target fill level: half full, per the paper.

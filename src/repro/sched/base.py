@@ -281,6 +281,34 @@ class Scheduler(ABC):
     #: ``SimThread.sched_data``; subclasses override.
     SCHED_KEY = "base"
 
+    #: Attributes whose mutation can change the outcome (or side
+    #: effects) of a pick and must therefore be covered by a
+    #: :attr:`state_epoch` bump.  Read *statically* by the
+    #: epoch-contract checker (``python -m repro lint``): keep it a
+    #: literal frozenset of attribute-name strings.  Subclasses declare
+    #: their own; the effective registry is the union along the MRO.
+    PICK_RELEVANT_STATE = frozenset({"_run_queue", "_placement_map"})
+
+    #: Methods allowed to mutate registered state *without* bumping the
+    #: epoch, each with the reason the contract still holds.  Also read
+    #: statically — keep it a literal dict of string -> string.
+    EPOCH_EXEMPT = {
+        "on_yield": (
+            "idempotent ready-hint refresh for a thread that stays "
+            "runnable; hints are advisory and re-checked at read time, "
+            "so no pick outcome can change"
+        ),
+        "on_preempt": (
+            "same as on_yield: the preempted thread stays runnable and "
+            "only its advisory ready hint is refreshed"
+        ),
+        "place_threads": (
+            "writes the placement cache, a pure function of "
+            "epoch-covered inputs (runnable set, weights, CPU count); "
+            "recomputing it under an unmoved epoch yields the same map"
+        ),
+    }
+
     def __init__(self, *, placement: Optional[PlacementPolicy] = None) -> None:
         self.kernel: Optional["Kernel"] = None
         self._run_queue = RunQueue()
@@ -294,6 +322,16 @@ class Scheduler(ABC):
         #: preemption-horizon contract in the module docstring).  The
         #: run-to-horizon kernel snapshots it to validate batching.
         self.state_epoch = 0
+
+    def _bump_epoch(self) -> None:
+        """Invalidate any in-flight run-to-horizon batch.
+
+        Equivalent to ``self.state_epoch += 1``; subclasses adding
+        pick-relevant state of their own call this (or bump the field
+        directly) from every mutating method — the epoch-contract
+        checker accepts either spelling.
+        """
+        self.state_epoch += 1
 
     # ------------------------------------------------------------------
     # wiring

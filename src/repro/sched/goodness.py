@@ -46,6 +46,23 @@ class LinuxGoodnessScheduler(Scheduler):
 
     SCHED_KEY = "goodness"
 
+    #: The recharge counter is the policy's only pick-relevant *own*
+    #: attribute; the per-thread counters live in ``sched_data`` (an
+    #: attribute of the threads, outside attribute-level analysis) and
+    #: are covered dynamically by the preemption-horizon contract:
+    #: ``preemption_horizon`` bounds batches by the remaining counter,
+    #: so every counter-changing pick is a real pick.
+    PICK_RELEVANT_STATE = frozenset({"recharges"})
+
+    EPOCH_EXEMPT = {
+        "_recharge_all": (
+            "runs only inside a real pick (the recharge is a pick-time "
+            "side effect); preemption_horizon returns now once the sole "
+            "candidate's counter reaches zero, so no batch spans a "
+            "recharge"
+        ),
+    }
+
     def __init__(self, base_quantum_us: int = BASE_QUANTUM_US) -> None:
         super().__init__()
         if base_quantum_us <= 0:

@@ -26,6 +26,22 @@ class LotteryScheduler(Scheduler):
 
     SCHED_KEY = "lottery"
 
+    #: The RNG stream position and draw counter are pick-relevant:
+    #: every draw changes which thread the next lottery selects.
+    PICK_RELEVANT_STATE = frozenset({"_rng", "draws"})
+
+    EPOCH_EXEMPT = {
+        "pick_next": (
+            "each pick consumes one draw by design; batching is gated "
+            "by preemption_horizon (single entrant only) and skipped "
+            "draws are replayed in note_batched_picks"
+        ),
+        "note_batched_picks": (
+            "replays exactly the single-entrant draws the skipped picks "
+            "would have consumed, keeping the RNG stream bit-identical"
+        ),
+    }
+
     def __init__(self, seed: int = 0, slice_us: Optional[int] = None) -> None:
         super().__init__()
         self._rng = random.Random(seed)

@@ -36,6 +36,23 @@ class FixedPriorityScheduler(Scheduler):
 
     SCHED_KEY = "fixed_priority"
 
+    #: The equal-priority round-robin cursor and the inheritance boost
+    #: table both steer which thread a pick returns.
+    PICK_RELEVANT_STATE = frozenset({"_cursor", "_base_priority"})
+
+    EPOCH_EXEMPT = {
+        "pick_next": (
+            "the cohort cursor advances on every pick by design; "
+            "batching is gated by preemption_horizon (singleton cohort "
+            "only) and skipped advances are replayed in "
+            "note_batched_picks"
+        ),
+        "note_batched_picks": (
+            "replays exactly the cursor advances the skipped singleton-"
+            "cohort picks would have made"
+        ),
+    }
+
     def __init__(self, *, priority_inheritance: bool = False) -> None:
         super().__init__()
         self.priority_inheritance = priority_inheritance

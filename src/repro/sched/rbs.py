@@ -177,6 +177,63 @@ class ReservationScheduler(Scheduler):
 
     SCHED_KEY = "rbs"
 
+    #: Everything a pick reads (see the epoch-contract checker): the
+    #: two heaps, the deferred-examination queue and its membership
+    #: set, the best-effort map and cursor, the stray/unmarked demand
+    #: sets, the reservation mirror, and the running aggregates.
+    PICK_RELEVANT_STATE = frozenset(
+        {
+            "_reservations",
+            "_rm_heap",
+            "_replenish",
+            "_pending",
+            "_pending_set",
+            "_best_effort",
+            "_best_effort_cursor",
+            "_wanted_stray",
+            "_unmarked",
+            "_reserved_ppt_total",
+            "_deadline_miss_total",
+        }
+    )
+
+    EPOCH_EXEMPT = {
+        "on_remove": (
+            "only reached from remove_thread, which bumps the epoch "
+            "before delegating to this hook"
+        ),
+        "_advance": (
+            "pick/refresh-time period roll, a pure function of virtual "
+            "time; its realisation instants are bounded by "
+            "preemption_horizon, so no batch can span one"
+        ),
+        "_classify": (
+            "pick-time reclassification of a deferred thread; runs only "
+            "from real picks/refresh (preemption_horizon returns now "
+            "while work is deferred), never inside a batch"
+        ),
+        "_service_queues": (
+            "pick/refresh-time queue service; deferred work disables "
+            "batching via preemption_horizon, so no in-flight batch can "
+            "observe these mutations"
+        ),
+        "_rebuild_best_effort": (
+            "content-preserving rebuild of the best-effort map in "
+            "registration order; every caller that changes membership "
+            "bumps the epoch itself"
+        ),
+        "pick_next": (
+            "pick-time mutations (fairness cursor, time-driven service); "
+            "batched picks replay the cursor via note_batched_picks and "
+            "are bounded by preemption_horizon"
+        ),
+        "note_batched_picks": (
+            "replays exactly the cursor mutations the skipped picks "
+            "would have made — the mechanism that keeps batching "
+            "bit-identical, not a bypass of it"
+        ),
+    }
+
     def __init__(
         self,
         *,
@@ -489,6 +546,7 @@ class ReservationScheduler(Scheduler):
         if mark_wanted and self._unmarked:
             # Throttled threads that were last examined by refresh: the
             # scan would record their unmet demand at this pick.
+            # repro-lint: disable=determinism -- per-tid flag updates on each thread's own reservation; no cross-thread ordering effect
             for tid in list(self._unmarked):
                 self._unmarked.discard(tid)
                 reservation = self._reservations.get(tid)
@@ -519,6 +577,7 @@ class ReservationScheduler(Scheduler):
             replenish.pop()
             self._classify(entry[1], now, mark_wanted)
         if self._wanted_stray:
+            # repro-lint: disable=determinism -- independent per-tid period rolls; each touches only its own reservation
             for tid in list(self._wanted_stray):
                 reservation = self._reservations.get(tid)
                 thread = self._run_queue.get(tid)
@@ -765,6 +824,7 @@ class ReservationScheduler(Scheduler):
         if entry is not None:
             horizon = entry[0]
         if self._wanted_stray:
+            # repro-lint: disable=determinism -- min-fold over period ends; the minimum is independent of visitation order
             for tid in self._wanted_stray:
                 stray = self._reservations.get(tid)
                 if stray is None:
@@ -808,6 +868,7 @@ class ReservationScheduler(Scheduler):
         # Pending examinations are normally drained by the pick that
         # precedes any idle advance; cover them anyway so a direct call
         # never misses a throttled thread.
+        # repro-lint: disable=determinism -- min-fold over period ends; the minimum is independent of visitation order
         for tid in self._pending_set:
             reservation = self._reservations.get(tid)
             thread = self._run_queue.get(tid)

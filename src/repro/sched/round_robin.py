@@ -24,6 +24,21 @@ class RoundRobinScheduler(Scheduler):
 
     SCHED_KEY = "rr"
 
+    #: The cursor is pick-relevant: it selects among the candidates.
+    PICK_RELEVANT_STATE = frozenset({"_cursor"})
+
+    EPOCH_EXEMPT = {
+        "pick_next": (
+            "the cursor advances on every pick by design; batching is "
+            "gated by preemption_horizon (single forced candidate only) "
+            "and skipped advances are replayed in note_batched_picks"
+        ),
+        "note_batched_picks": (
+            "replays exactly the cursor advances the skipped forced "
+            "picks would have made"
+        ),
+    }
+
     def __init__(self, slice_us: Optional[int] = None) -> None:
         super().__init__()
         self._slice_us = slice_us

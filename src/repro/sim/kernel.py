@@ -75,7 +75,7 @@ loop, kept as the differential-testing oracle.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.clock import US_PER_SEC, SimClock
 from repro.sim.cpu import CPUModel, CPUState
@@ -93,7 +93,7 @@ from repro.sim.requests import (
     WaitIO,
     Yield,
 )
-from repro.sim.thread import SimThread, ThreadEnv, ThreadState
+from repro.sim.thread import SimThread, ThreadBody, ThreadEnv, ThreadState
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -334,7 +334,7 @@ class Kernel:
         self.scheduler.on_ready(thread, self.now)
         return thread
 
-    def spawn(self, name: str, body, **kwargs) -> SimThread:
+    def spawn(self, name: str, body: Optional[ThreadBody], **kwargs: Any) -> SimThread:
         """Create a :class:`SimThread` and add it in one call."""
         thread = SimThread(name, body, **kwargs)
         return self.add_thread(thread)

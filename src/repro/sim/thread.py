@@ -11,7 +11,7 @@ threads.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.sim.errors import ThreadStateError

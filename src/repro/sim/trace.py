@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from bisect import bisect_left, bisect_right
-from collections import defaultdict
-from typing import Callable, Iterable, NamedTuple, Optional
+from typing import Callable, Iterator, NamedTuple, Optional
 
 from repro.sim.clock import to_seconds
 from repro.sim.events import EventQueue, PeriodicEvent
@@ -51,7 +50,7 @@ class TraceSeries:
     def __len__(self) -> int:
         return len(self._times)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TracePoint]:
         return map(TracePoint, self._times, self._values)
 
     def __getitem__(self, index: int) -> TracePoint:

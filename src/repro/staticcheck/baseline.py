@@ -1,0 +1,82 @@
+"""Grandfathered-findings baseline for ``repro lint``.
+
+When a checker lands after the code it polices, pre-existing findings
+that are judged acceptable (e.g. the Adder's ``sum()`` over a handful
+of controller outputs, written before the float-order boundary was
+formalised) are recorded here instead of suppressed inline — the
+baseline is the reviewed debt ledger, committed next to the checkers
+and shrunk over time.
+
+Entries are keyed by :meth:`repro.staticcheck.core.Finding.baseline_key`
+(check + path + symbol + message, **not** the line number), so they
+survive unrelated edits but never absorb a *new* violation: changing
+the code enough to change the message re-surfaces the finding.  Each
+key carries a count, so two identical findings in one symbol need two
+baseline slots.
+
+Refresh with ``python -m repro lint --write-baseline`` and review the
+diff like a lockfile.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.staticcheck.core import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+DEFAULT_BASELINE_PATH = Path(__file__).parent / "lint_baseline.json"
+
+
+def load_baseline(path: Path) -> Optional[dict[str, int]]:
+    """Baseline-key -> grandfathered count; ``None`` when absent."""
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema_version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline schema {payload.get('schema_version')!r} "
+            f"in {path} (expected {BASELINE_SCHEMA_VERSION})"
+        )
+    return {
+        key: int(entry["count"]) for key, entry in payload.get("entries", {}).items()
+    }
+
+
+def build_baseline(findings: Sequence[Finding]) -> dict:
+    """The payload for ``--write-baseline``: every finding, keyed and
+    counted, with the human-readable identity kept alongside so the
+    committed file reviews like prose."""
+    entries: dict[str, dict] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = finding.baseline_key()
+        if key in entries:
+            entries[key]["count"] += 1
+        else:
+            entries[key] = {
+                "count": 1,
+                "check": finding.check,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+            }
+    return {"schema_version": BASELINE_SCHEMA_VERSION, "entries": entries}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    path.write_text(
+        json.dumps(build_baseline(findings), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "build_baseline",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,412 @@
+"""The epoch-contract checker: a static race detector for stale batches.
+
+The run-to-horizon engine snapshots ``Scheduler.state_epoch`` before
+dispatching a batch and re-validates it afterwards; a pick-relevant
+mutation that fails to bump the epoch makes the engine replay a stale
+dispatch plan — silently, because nothing crashes.  PR 4's dynamic
+differential suite catches this only when a 200-example hypothesis run
+happens to hit the window.  This checker proves the contract shape
+statically.
+
+Scheduler classes opt in by declaring two **literal** class attributes
+(read by AST, never imported):
+
+``PICK_RELEVANT_STATE``
+    a ``frozenset({...})`` of ``self`` attribute names whose mutation
+    must be covered by an epoch bump (ready heaps, pending deques,
+    aggregates the picker reads).
+
+``EPOCH_EXEMPT``
+    a ``{method_name: reason}`` dict of methods allowed to mutate
+    registered state without bumping — each with a mandatory prose
+    reason (pick-time cursor replayed by ``note_batched_picks``,
+    helper only called under a caller's bump, ...).  An empty reason
+    is itself a finding.
+
+Both are inherited: a subclass's effective registry is the union along
+the (project-local) MRO.  A method *bumps* if its body assigns
+``self.state_epoch``, calls ``self._bump_epoch()``, or calls another
+method (via ``self``/``super()``) that transitively bumps — a fixpoint
+over the class table, so ``on_add -> _track_reservation ->
+_reexamine -> bump`` is recognised without flow analysis.
+
+Mutation of a registered attribute means: assignment or ``del`` of
+``self.attr`` (including subscripts), or calling a method on it that is
+not in the read-only whitelist below.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.staticcheck.core import (
+    Checker,
+    Finding,
+    ModuleSource,
+    Project,
+    call_name,
+    dotted_name,
+    is_self_attr,
+    literal_str_dict,
+    literal_str_set,
+)
+
+#: Methods that may be called on registered state without counting as a
+#: mutation.  Deliberately a whitelist: an unknown method on a ready
+#: heap is assumed mutating until proven otherwise.
+READONLY_METHODS = frozenset(
+    {
+        "get",
+        "peek",
+        "keys",
+        "values",
+        "items",
+        "copy",
+        "count",
+        "index",
+        "live_sorted",
+        "threads",
+        "ready_in_order",
+        "total",
+        "is_empty",
+        "__contains__",
+        "__len__",
+    }
+)
+
+#: Stdlib helpers that mutate a container passed by position.
+HEAP_MUTATORS = frozenset(
+    {
+        "heapq.heappush",
+        "heapq.heappop",
+        "heapq.heapify",
+        "heapq.heapreplace",
+        "heapq.heappushpop",
+    }
+)
+
+REGISTRY_ATTR = "PICK_RELEVANT_STATE"
+EXEMPT_ATTR = "EPOCH_EXEMPT"
+EPOCH_FIELD = "state_epoch"
+BUMP_HELPER = "_bump_epoch"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its lint-relevant structure."""
+
+    name: str
+    module: ModuleSource
+    node: ast.ClassDef
+    base_names: list[str] = field(default_factory=list)
+    registry: Optional[set[str]] = None
+    registry_line: int = 0
+    exempt: Optional[dict[str, str]] = None
+    exempt_line: int = 0
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: resolved project-local MRO (self first), filled by the checker
+    mro: list["ClassInfo"] = field(default_factory=list)
+
+
+def _collect_classes(project: Project) -> dict[str, list[ClassInfo]]:
+    """All class definitions in the project, keyed by bare name."""
+    table: dict[str, list[ClassInfo]] = {}
+    for module in project.modules:
+        if module.tree is None:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = ClassInfo(name=node.name, module=module, node=node)
+            for base in node.bases:
+                name = dotted_name(base)
+                if name is not None:
+                    info.base_names.append(name.rsplit(".", 1)[-1])
+            for statement in node.body:
+                if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                    target = statement.targets[0]
+                    if isinstance(target, ast.Name):
+                        if target.id == REGISTRY_ATTR:
+                            info.registry = literal_str_set(statement.value)
+                            info.registry_line = statement.lineno
+                        elif target.id == EXEMPT_ATTR:
+                            info.exempt = literal_str_dict(statement.value)
+                            info.exempt_line = statement.lineno
+                elif isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and isinstance(statement, ast.FunctionDef):
+                    info.methods[statement.name] = statement
+            table.setdefault(node.name, []).append(info)
+    return table
+
+
+def _resolve_mro(info: ClassInfo, table: dict[str, list[ClassInfo]]) -> list[ClassInfo]:
+    """Project-local linearisation: self, then bases depth-first.
+
+    Name-based (imports are not followed); ambiguity (two project
+    classes sharing a bare name in the hierarchy) takes the first in
+    path order, which is deterministic.
+    """
+    seen: set[int] = set()
+    order: list[ClassInfo] = []
+
+    def visit(current: ClassInfo) -> None:
+        if id(current) in seen:
+            return
+        seen.add(id(current))
+        order.append(current)
+        for base_name in current.base_names:
+            for candidate in table.get(base_name, []):
+                visit(candidate)
+                break
+
+    visit(info)
+    return order
+
+
+def _effective_registry(mro: list[ClassInfo]) -> set[str]:
+    out: set[str] = set()
+    for info in mro:
+        if info.registry:
+            out |= info.registry
+    return out
+
+
+def _effective_exempt(mro: list[ClassInfo]) -> dict[str, str]:
+    out: dict[str, str] = {}
+    # reversed: nearer classes override inherited reasons
+    for info in reversed(mro):
+        if info.exempt:
+            out.update(info.exempt)
+    return out
+
+
+def _direct_bump(method: ast.FunctionDef) -> bool:
+    """Does the body itself touch the epoch (assignment or helper)?"""
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if is_self_attr(target, {EPOCH_FIELD}):
+                    return True
+        elif isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in (f"self.{BUMP_HELPER}", f"super().{BUMP_HELPER}"):
+                return True
+    return False
+
+
+def _called_methods(method: ast.FunctionDef) -> set[str]:
+    """Names of methods invoked via ``self.x()`` or ``super().x()``."""
+    out: set[str] = set()
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            owner = func.value
+            if isinstance(owner, ast.Name) and owner.id == "self":
+                out.add(func.attr)
+            elif (
+                isinstance(owner, ast.Call)
+                and isinstance(owner.func, ast.Name)
+                and owner.func.id == "super"
+            ):
+                out.add(func.attr)
+    return out
+
+
+def _all_methods(mro: list[ClassInfo]) -> dict[str, ast.FunctionDef]:
+    """Effective method table: nearest definition along the MRO wins
+    for lookup, but *every* reachable override is kept for the bump
+    fixpoint (``super().m()`` may land on any of them; treating a call
+    as bumping if any version bumps is the sound direction — it can
+    only under-report, never mis-flag correct code)."""
+    table: dict[str, ast.FunctionDef] = {}
+    for info in reversed(mro):
+        table.update(info.methods)
+    return table
+
+
+def _bump_set(mro: list[ClassInfo]) -> set[str]:
+    """Fixpoint of method names that (transitively) bump the epoch."""
+    methods: dict[str, list[ast.FunctionDef]] = {}
+    for info in mro:
+        for name, fn in info.methods.items():
+            methods.setdefault(name, []).append(fn)
+    bumps: set[str] = set()
+    for name, versions in methods.items():
+        if any(_direct_bump(fn) for fn in versions):
+            bumps.add(name)
+    changed = True
+    while changed:
+        changed = False
+        for name, versions in methods.items():
+            if name in bumps:
+                continue
+            for fn in versions:
+                if _called_methods(fn) & bumps:
+                    bumps.add(name)
+                    changed = True
+                    break
+    return bumps
+
+
+def _mutations(method: ast.FunctionDef, registry: set[str]) -> list[tuple[int, str, str]]:
+    """(line, attr, how) for each mutation of registered state."""
+    out: list[tuple[int, str, str]] = []
+
+    def registered_target(node: ast.AST) -> Optional[str]:
+        attr = is_self_attr(node, registry)
+        if attr is not None:
+            return attr
+        if isinstance(node, ast.Subscript):
+            return is_self_attr(node.value, registry)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                found = registered_target(element)
+                if found is not None:
+                    return found
+        if isinstance(node, ast.Starred):
+            return registered_target(node.value)
+        return None
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = registered_target(target)
+                if attr is not None:
+                    out.append((node.lineno, attr, "assignment"))
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = registered_target(node.target)
+            if attr is not None:
+                out.append((node.lineno, attr, "assignment"))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = registered_target(target)
+                if attr is not None:
+                    out.append((node.lineno, attr, "del"))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            # heapq.heappush(self._heap, ...)-style: the registered
+            # attr passed by position to a known mutating helper.
+            # Checked before the method-call case — these helpers are
+            # themselves Attribute calls (on the module), so an
+            # else-branch here would never see them.
+            name = call_name(node)
+            if name in HEAP_MUTATORS:
+                for argument in node.args:
+                    attr = is_self_attr(argument, registry)
+                    if attr is not None:
+                        out.append((node.lineno, attr, name))
+            elif isinstance(func, ast.Attribute) and func.attr not in READONLY_METHODS:
+                attr = is_self_attr(func.value, registry)
+                if attr is not None:
+                    out.append((node.lineno, attr, f".{func.attr}()"))
+    return out
+
+
+class EpochContractChecker(Checker):
+    name = "epoch-contract"
+    description = (
+        "pick-relevant scheduler state may only be mutated under a "
+        "reachable state_epoch bump (PICK_RELEVANT_STATE registry)"
+    )
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        table = _collect_classes(project)
+        schedulers: list[ClassInfo] = []
+        for infos in table.values():
+            for info in infos:
+                info.mro = _resolve_mro(info, table)
+                if any(c.registry is not None or c.registry_line for c in info.mro):
+                    schedulers.append(info)
+
+        for info in sorted(
+            schedulers, key=lambda c: (c.module.rel_path, c.node.lineno)
+        ):
+            registry = _effective_registry(info.mro)
+            exempt = _effective_exempt(info.mro)
+            bumps = _bump_set(info.mro)
+
+            for method_name, reason in (info.exempt or {}).items():
+                if not reason.strip():
+                    findings.append(
+                        Finding(
+                            check=self.name,
+                            path=info.module.rel_path,
+                            line=info.exempt_line,
+                            symbol=f"{info.name}.{method_name}",
+                            message=(
+                                f"EPOCH_EXEMPT entry for '{method_name}' has "
+                                "an empty reason; every exemption must say why"
+                            ),
+                        )
+                    )
+            if info.registry_line and info.registry is None:
+                findings.append(
+                    Finding(
+                        check=self.name,
+                        path=info.module.rel_path,
+                        line=info.registry_line,
+                        symbol=info.name,
+                        message=(
+                            f"{REGISTRY_ATTR} must be a literal frozenset "
+                            "of attribute-name strings"
+                        ),
+                    )
+                )
+                continue
+            if info.exempt_line and info.exempt is None:
+                findings.append(
+                    Finding(
+                        check=self.name,
+                        path=info.module.rel_path,
+                        line=info.exempt_line,
+                        symbol=info.name,
+                        message=(
+                            f"{EXEMPT_ATTR} must be a literal dict of "
+                            "method-name -> reason strings"
+                        ),
+                    )
+                )
+                continue
+
+            for method_name, method in sorted(info.methods.items()):
+                if method_name == "__init__":
+                    continue
+                if method_name in exempt:
+                    continue
+                if method_name in bumps:
+                    continue
+                mutations = _mutations(method, registry)
+                if not mutations:
+                    continue
+                line, attr, how = mutations[0]
+                extra = (
+                    "" if len(mutations) == 1 else f" (+{len(mutations) - 1} more)"
+                )
+                findings.append(
+                    Finding(
+                        check=self.name,
+                        path=info.module.rel_path,
+                        line=line,
+                        symbol=f"{info.name}.{method_name}",
+                        message=(
+                            f"mutates pick-relevant state 'self.{attr}' via "
+                            f"{how}{extra} without a reachable state_epoch "
+                            "bump; bump the epoch, route through a bumping "
+                            "method, or add an EPOCH_EXEMPT entry with a "
+                            "reason"
+                        ),
+                    )
+                )
+        return findings
+
+
+__all__ = ["EpochContractChecker", "READONLY_METHODS"]

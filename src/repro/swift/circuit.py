@@ -11,7 +11,7 @@ the allocator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.swift.components import Component
 

@@ -7,6 +7,11 @@ controller's sampling rate — important because the paper varies the
 controller frequency when discussing responsiveness and overhead.
 """
 
+# float-order: exact — circuit outputs feed the golden-verified PID
+# path; existing sum() folds are grandfathered in the lint baseline
+# (python's sum is a defined left fold), but new reductions must keep
+# the explicit order.
+
 from __future__ import annotations
 
 from abc import ABC, abstractmethod

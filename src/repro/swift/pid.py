@@ -14,6 +14,9 @@ integrated history keeps the proportion at the level that matched the
 producer's rate.
 """
 
+# float-order: exact — the PID step is verified bit-for-bit against
+# goldens; see docs/ARCHITECTURE.md on the float-order boundary.
+
 from __future__ import annotations
 
 from dataclasses import dataclass

@@ -31,6 +31,9 @@ log on both kernel engines — the same contract every other churn
 transition obeys.
 """
 
+# float-order: exact — window percentile and AIMD math must stay
+# bit-identical across engines and releases.
+
 from __future__ import annotations
 
 from dataclasses import dataclass

@@ -16,8 +16,8 @@ paper's Figure 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.taxonomy import ThreadSpec
 from repro.ipc.bounded_buffer import BoundedBuffer

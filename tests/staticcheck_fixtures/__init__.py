@@ -1,0 +1,8 @@
+"""Seeded-violation corpus for the ``repro lint`` checkers.
+
+Each ``*_bad.py`` module contains deliberate contract violations the
+matching checker must flag; ``*_good.py``/``*_clean.py`` modules are
+near-identical code the checker must accept.  These files are scanned
+as data by the tests (never imported), so they may reference modules
+that do not exist.
+"""

@@ -1,0 +1,34 @@
+"""Determinism violations: ambient time, entropy, and hash-order leaks."""
+
+import random
+import time
+
+
+class NoisyComponent:
+    def __init__(self) -> None:
+        self._members: set[int] = set()
+        # BAD: unseeded Random draws from OS entropy
+        self._rng = random.Random()
+
+    def stamp(self) -> float:
+        # BAD: wall-clock read
+        return time.time()
+
+    def jitter(self) -> float:
+        # BAD: shared global RNG
+        return random.uniform(0.0, 1.0)
+
+    def drain(self) -> list[int]:
+        out = []
+        # BAD: set iterated in hash order
+        for member in self._members:
+            out.append(member)
+        return out
+
+    def ordered(self) -> list[int]:
+        # GOOD: sorted() makes the order explicit
+        return sorted(self._members)
+
+    def rank(self, items: list[object]) -> list[object]:
+        # BAD: id() in a sort key orders by address
+        return sorted(items, key=lambda item: id(item))

@@ -1,0 +1,37 @@
+"""Epoch-contract violations: registered state mutated without a bump."""
+
+import heapq
+
+
+class BrokenScheduler:
+    PICK_RELEVANT_STATE = frozenset({"_queue", "_weights"})
+
+    def __init__(self) -> None:
+        self.state_epoch = 0
+        self._queue: list[int] = []
+        self._weights: dict[int, int] = {}
+
+    def enqueue(self, tid: int) -> None:
+        # BAD: mutates registered state, never bumps state_epoch
+        self._queue.append(tid)
+
+    def set_weight(self, tid: int, weight: int) -> None:
+        # BAD: subscript store on registered state without a bump
+        self._weights[tid] = weight
+
+    def drop_weight(self, tid: int) -> None:
+        # BAD: del on registered state without a bump
+        del self._weights[tid]
+
+    def requeue(self, tid: int) -> None:
+        # BAD: heapq mutates the registered heap passed by position
+        heapq.heappush(self._queue, tid)
+
+
+class MalformedScheduler:
+    # BAD: registry must be a literal frozenset of strings
+    PICK_RELEVANT_STATE = frozenset(name for name in ("_queue",))
+
+    def __init__(self) -> None:
+        self.state_epoch = 0
+        self._queue: list[int] = []

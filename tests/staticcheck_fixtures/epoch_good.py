@@ -1,0 +1,45 @@
+"""Epoch-contract conformance: every mutation path reaches a bump."""
+
+
+class GoodScheduler:
+    PICK_RELEVANT_STATE = frozenset({"_queue", "_weights", "_cursor"})
+
+    EPOCH_EXEMPT = {
+        "note_batched_picks": "pick-time cursor replay; engine replays it",
+    }
+
+    def __init__(self) -> None:
+        self.state_epoch = 0
+        self._queue: list[int] = []
+        self._weights: dict[int, int] = {}
+        self._cursor = 0
+
+    def _bump_epoch(self) -> None:
+        self.state_epoch += 1
+
+    def enqueue(self, tid: int) -> None:
+        self._queue.append(tid)
+        self.state_epoch += 1
+
+    def set_weight(self, tid: int, weight: int) -> None:
+        self._weights[tid] = weight
+        self._bump_epoch()
+
+    def remove(self, tid: int) -> None:
+        # bump reached transitively through set_weight
+        self._queue.remove(tid)
+        self.set_weight(tid, 0)
+
+    def note_batched_picks(self, picks: list[int]) -> None:
+        self._cursor += len(picks)
+
+    def peek(self) -> int:
+        # read-only access is never a mutation
+        return self._queue[0] if self._queue else -1
+
+
+class InheritingScheduler(GoodScheduler):
+    def enqueue_twice(self, tid: int) -> None:
+        # bump inherited through the superclass method
+        self.enqueue(tid)
+        self.enqueue(tid)

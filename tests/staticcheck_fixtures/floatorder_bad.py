@@ -1,0 +1,20 @@
+# float-order: exact
+"""Float-order violations inside an annotated module."""
+
+import math
+
+
+def total(values: list[float]) -> float:
+    # BAD: sum() in a float-order: exact module
+    return sum(values)
+
+
+def compensated(values: list[float]) -> float:
+    # BAD: fsum compensates, changing the low bits
+    return math.fsum(values)
+
+
+def accumulate(state: float, a: float, b: float) -> float:
+    # BAD: reassociated accumulation
+    state += a + b
+    return state

@@ -1,0 +1,17 @@
+"""Same code as floatorder_bad, but the module never opted in —
+the float-order checker must not flag anything here."""
+
+import math
+
+
+def total(values: list[float]) -> float:
+    return sum(values)
+
+
+def compensated(values: list[float]) -> float:
+    return math.fsum(values)
+
+
+def accumulate(state: float, a: float, b: float) -> float:
+    state += a + b
+    return state

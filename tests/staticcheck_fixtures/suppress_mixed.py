@@ -1,0 +1,18 @@
+"""Suppression grammar cases: justified, unjustified, and unused."""
+
+import time
+
+
+def diagnostics_only() -> float:
+    # repro-lint: disable=determinism -- wall timing feeds a log line, never a charged cost
+    return time.time()
+
+
+def unjustified() -> float:
+    # repro-lint: disable=determinism
+    return time.time()
+
+
+def dead_waiver() -> int:
+    # repro-lint: disable=determinism -- nothing here actually trips the checker
+    return 42

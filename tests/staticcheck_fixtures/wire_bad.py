@@ -1,0 +1,12 @@
+"""Wire-format violations: write-only and unversioned payloads."""
+
+RECORD_SCHEMA_VERSION = 1
+
+
+class WriteOnlyRecord:
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    # BAD: to_dict with no from_dict
+    def to_dict(self) -> dict:
+        return {"schema_version": RECORD_SCHEMA_VERSION, "value": self.value}

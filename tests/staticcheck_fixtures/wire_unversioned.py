@@ -1,0 +1,14 @@
+"""Wire-format violation: round-trips, but no schema version at all."""
+
+
+class UnversionedRecord:
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    # BAD: no *_SCHEMA_VERSION constant covers this module
+    def to_dict(self) -> dict:
+        return {"value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "UnversionedRecord":
+        return cls(value=payload["value"])

@@ -1,0 +1,203 @@
+"""Per-checker behaviour of ``repro lint`` against the fixture corpus.
+
+Every checker is exercised in both directions: the ``*_bad`` fixtures
+must produce the expected findings (the mutation-style proof that the
+checker catches real violations), and the matching good fixtures must
+stay clean (no false positives on the approved idioms).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.staticcheck.core import Project
+from repro.staticcheck.determinism import DeterminismChecker
+from repro.staticcheck.epoch import EpochContractChecker
+from repro.staticcheck.experiments import ExperimentRegistryChecker
+from repro.staticcheck.floatorder import FloatOrderChecker
+from repro.staticcheck.wire import WireFormatChecker, build_snapshot
+
+FIXTURES = Path(__file__).parent / "staticcheck_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+SRC_SCHED = REPO_ROOT / "src" / "repro" / "sched"
+
+
+def fixture_project(*names: str) -> Project:
+    return Project([FIXTURES / name for name in names], display_root=REPO_ROOT)
+
+
+# ----------------------------------------------------------------------
+# epoch-contract
+# ----------------------------------------------------------------------
+def test_epoch_checker_flags_unbumped_mutations():
+    findings = EpochContractChecker().check(fixture_project("epoch_bad.py"))
+    by_symbol = {f.symbol for f in findings}
+    assert "BrokenScheduler.enqueue" in by_symbol
+    assert "BrokenScheduler.set_weight" in by_symbol
+    assert "BrokenScheduler.drop_weight" in by_symbol
+    assert "BrokenScheduler.requeue" in by_symbol
+
+
+def test_epoch_checker_flags_malformed_registry():
+    findings = EpochContractChecker().check(fixture_project("epoch_bad.py"))
+    assert any(
+        "PICK_RELEVANT_STATE" in f.message and f.symbol == "MalformedScheduler"
+        for f in findings
+    )
+
+
+def test_epoch_checker_accepts_all_bump_spellings():
+    findings = EpochContractChecker().check(fixture_project("epoch_good.py"))
+    assert findings == []
+
+
+def test_epoch_checker_catches_doctored_rbs(tmp_path):
+    """The acceptance criterion: seed a 'mutate the ready heap without
+    bumping the epoch' edit into a copy of sched/rbs.py and prove the
+    checker reports it (and that the pristine copy stays clean)."""
+    sched_dir = tmp_path / "sched"
+    sched_dir.mkdir()
+    for name in ("base.py", "rbs.py"):
+        (sched_dir / name).write_text(
+            (SRC_SCHED / name).read_text(encoding="utf-8"), encoding="utf-8"
+        )
+
+    clean = EpochContractChecker().check(Project([sched_dir]))
+    assert [f for f in clean if f.check == "epoch-contract"] == []
+
+    rbs = sched_dir / "rbs.py"
+    text = rbs.read_text(encoding="utf-8")
+    anchor = "    def pick_next("
+    assert anchor in text
+    doctored_method = (
+        "    def doctored_requeue(self, tid):\n"
+        "        heapq.heappush(self._rm_heap, (0, 0, tid))\n\n"
+    )
+    rbs.write_text(text.replace(anchor, doctored_method + anchor, 1))
+
+    findings = EpochContractChecker().check(Project([sched_dir]))
+    doctored = [f for f in findings if f.symbol.endswith("doctored_requeue")]
+    assert len(doctored) == 1
+    assert "_rm_heap" in doctored[0].message
+    assert "state_epoch" in doctored[0].message
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_determinism_checker_flags_the_four_violation_classes():
+    findings = DeterminismChecker().check(fixture_project("determinism_bad.py"))
+    messages = "\n".join(f.message for f in findings)
+    assert "time.time()" in messages
+    assert "random.uniform()" in messages
+    assert "random.Random() without a seed" in messages
+    assert "iterates a set in hash order" in messages
+    assert "id() in a sort key" in messages
+
+
+def test_determinism_checker_accepts_sorted_wrapping():
+    findings = DeterminismChecker().check(fixture_project("determinism_bad.py"))
+    # ordered() wraps the set in sorted() and must not be flagged
+    assert not any(f.symbol == "NoisyComponent.ordered" for f in findings)
+
+
+# ----------------------------------------------------------------------
+# float-order
+# ----------------------------------------------------------------------
+def test_float_order_checker_flags_annotated_module():
+    findings = FloatOrderChecker().check(fixture_project("floatorder_bad.py"))
+    messages = "\n".join(f.message for f in findings)
+    assert "sum()" in messages
+    assert "math.fsum()" in messages
+    assert "reassociated accumulation" in messages
+    assert len(findings) == 3
+
+
+def test_float_order_checker_ignores_unannotated_module():
+    findings = FloatOrderChecker().check(fixture_project("floatorder_clean.py"))
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# wire-format
+# ----------------------------------------------------------------------
+def test_wire_checker_requires_from_dict(tmp_path):
+    checker = WireFormatChecker(tmp_path / "no_snapshot.json")
+    findings = checker.check(fixture_project("wire_bad.py"))
+    assert any("no matching from_dict" in f.message for f in findings)
+
+
+def test_wire_checker_requires_version_const(tmp_path):
+    checker = WireFormatChecker(tmp_path / "no_snapshot.json")
+    findings = checker.check(fixture_project("wire_unversioned.py"))
+    assert any("*_SCHEMA_VERSION" in f.message for f in findings)
+
+
+def test_wire_checker_detects_field_drift_without_version_bump(tmp_path):
+    source = (FIXTURES / "wire_bad.py").read_text(encoding="utf-8")
+    module = tmp_path / "record.py"
+    module.write_text(source)
+    snapshot_path = tmp_path / "snapshot.json"
+    snapshot_path.write_text(
+        json.dumps(build_snapshot(Project([module]))), encoding="utf-8"
+    )
+    checker = WireFormatChecker(snapshot_path)
+
+    # unchanged: the only finding is the missing from_dict
+    findings = checker.check(Project([module]))
+    assert not any("fields changed" in f.message for f in findings)
+
+    # grow the payload without bumping the version -> drift finding
+    module.write_text(
+        source.replace('"value": self.value', '"value": self.value, "extra": 1')
+    )
+    findings = checker.check(Project([module]))
+    drift = [f for f in findings if "fields changed" in f.message]
+    assert len(drift) == 1
+    assert "added extra" in drift[0].message
+    assert "RECORD_SCHEMA_VERSION" in drift[0].message
+
+    # bump the version too -> becomes a "refresh the snapshot" reminder
+    module.write_text(
+        source.replace('"value": self.value', '"value": self.value, "extra": 1')
+        .replace("RECORD_SCHEMA_VERSION = 1", "RECORD_SCHEMA_VERSION = 2")
+    )
+    findings = checker.check(Project([module]))
+    assert not any("fields changed" in f.message for f in findings)
+    assert any("drifted from the committed wire snapshot" in f.message
+               for f in findings)
+
+
+def test_shipped_wire_snapshot_matches_tree():
+    """The committed wire_snapshot.json must equal what the tree builds
+    — otherwise someone changed a to_dict without refreshing it."""
+    from repro.staticcheck.cli import PACKAGE_ROOT
+    from repro.staticcheck.wire import DEFAULT_SNAPSHOT_PATH, load_snapshot
+
+    project = Project([PACKAGE_ROOT], display_root=REPO_ROOT)
+    assert build_snapshot(project) == load_snapshot(DEFAULT_SNAPSHOT_PATH)
+
+
+# ----------------------------------------------------------------------
+# experiment-registry
+# ----------------------------------------------------------------------
+def test_experiment_checker_flags_missing_knobs_and_fingerprint():
+    findings = ExperimentRegistryChecker().check(
+        fixture_project("experiments_bad.py")
+    )
+    messages = "\n".join(f.message for f in findings)
+    assert "'engine' param" in messages
+    assert "'seed' param" in messages
+    assert "dispatch_fingerprint" in messages
+    assert len(findings) == 3
+
+
+def test_experiment_checker_resolves_shared_params_on_real_tree():
+    """Every registered experiment in the shipped tree conforms — the
+    shared ENGINE_PARAM alias chain must resolve across modules."""
+    from repro.staticcheck.cli import PACKAGE_ROOT
+
+    project = Project([PACKAGE_ROOT], display_root=REPO_ROOT)
+    findings = ExperimentRegistryChecker().check(project)
+    assert findings == []
