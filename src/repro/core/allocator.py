@@ -133,8 +133,12 @@ class ProportionAllocator:
 
     @property
     def capacity_cpus(self) -> int:
-        """CPU count the controller budgets against (scheduler's kernel)."""
-        return self.scheduler.n_cpus
+        """CPU count the controller budgets against (scheduler's kernel).
+
+        Counts only *online* CPUs so admission and overload thresholds
+        tighten the moment a CPU fails and relax again on recovery.
+        """
+        return self.scheduler.online_cpu_count
 
     # ------------------------------------------------------------------
     # registration (what the paper's jobs do explicitly)
@@ -237,6 +241,33 @@ class ProportionAllocator:
         if state is None:
             raise ControllerError(f"thread {thread.name!r} is not controlled")
         return state.spec
+
+    def sampler_for(self, thread: SimThread) -> ProgressSampler:
+        """The progress sampler the controller reads for ``thread``.
+
+        Exposed so fault injection can wrap the sensor path (dropout /
+        corruption windows) without reaching into private state.
+        """
+        state = self._controlled.get(thread.tid)
+        if state is None:
+            raise ControllerError(f"thread {thread.name!r} is not controlled")
+        return state.sampler
+
+    def set_sampler(self, thread: SimThread, sampler: ProgressSampler) -> None:
+        """Replace the progress sampler the controller reads for ``thread``.
+
+        The counterpart of :meth:`sampler_for`: fault injection swaps in
+        a wrapping sensor for the fault window and restores the original
+        afterwards.  The sampler must observe the same thread.
+        """
+        state = self._controlled.get(thread.tid)
+        if state is None:
+            raise ControllerError(f"thread {thread.name!r} is not controlled")
+        if sampler.thread is not thread:
+            raise ControllerError(
+                f"sampler observes {sampler.thread.name!r}, not {thread.name!r}"
+            )
+        state.sampler = sampler
 
     def _real_time_reservations(self) -> list[tuple[int, Optional[int]]]:
         """Live real-time reservations as (proportion, affinity) pairs."""

@@ -42,6 +42,11 @@ from repro.experiments.churn import (
     tidal_pipeline_experiment,
     trace_replay_experiment,
 )
+from repro.experiments.faults import (
+    cpu_failover_experiment,
+    runaway_quarantine_experiment,
+    sensor_dropout_experiment,
+)
 from repro.experiments.figure5 import figure5_experiment, run_figure5
 from repro.experiments.figure6 import figure6_experiment, run_figure6
 from repro.experiments.figure7 import figure7_experiment, run_figure7
@@ -74,6 +79,7 @@ __all__ = [
     "ablation_pid_experiment",
     "ablation_squish_experiment",
     "churn_webfarm_experiment",
+    "cpu_failover_experiment",
     "experiment",
     "flash_crowd_rt_experiment",
     "thundering_herd_experiment",
@@ -95,6 +101,8 @@ __all__ = [
     "run_smp_scaling",
     "run_taxonomy",
     "response_curve_experiment",
+    "runaway_quarantine_experiment",
+    "sensor_dropout_experiment",
     "slo_flash_crowd_experiment",
     "smp_scaling_experiment",
     "taxonomy_experiment",

@@ -13,7 +13,11 @@ times) into the per-thread signals the adaptive controller consumes:
 * :class:`~repro.monitor.usage.UsageMonitor` — per-controller-interval
   CPU usage vs. allocation, driving the "too generous" reclaim rule of
   Figure 4 and the run-before-block heuristic for threads with no
-  progress metric.
+  progress metric;
+* :class:`~repro.monitor.watchdog.Watchdog` — a second feedback loop
+  that quarantines runaway or stalled reservations (demotion to
+  best-effort with backoff re-promotion), keeping a misbehaving thread
+  from displacing well-behaved reservations.
 """
 
 from repro.monitor.progress import (
@@ -23,12 +27,15 @@ from repro.monitor.progress import (
     QueueFillMonitor,
 )
 from repro.monitor.usage import UsageMonitor, UsageSample
+from repro.monitor.watchdog import QuarantineRecord, Watchdog
 
 __all__ = [
     "ConstantPressureSource",
     "PressureSample",
     "ProgressSampler",
+    "QuarantineRecord",
     "QueueFillMonitor",
     "UsageMonitor",
     "UsageSample",
+    "Watchdog",
 ]

@@ -354,6 +354,19 @@ class Scheduler(ABC):
             return 1
         return self.kernel.n_cpus
 
+    @property
+    def online_cpu_count(self) -> int:
+        """Online CPUs of the attached kernel (1 when detached).
+
+        Equals :attr:`n_cpus` unless :meth:`Kernel.fail_cpu` took CPUs
+        down.  Capacity-derived quantities (reservation capacity,
+        admission and overload thresholds) scale with this, so losing a
+        CPU immediately shrinks what the controller may hand out.
+        """
+        if self.kernel is None:
+            return 1
+        return self.kernel.online_cpu_count
+
     # ------------------------------------------------------------------
     # thread membership
     # ------------------------------------------------------------------
@@ -429,11 +442,16 @@ class Scheduler(ABC):
         skip redundant calls entirely while the epoch stands still.
         """
         runnable = self.runnable_threads()
+        kernel = self.kernel
+        online: Optional[tuple[int, ...]] = None
+        if kernel is not None and kernel.offline_cpu_count:
+            online = kernel.online_cpu_indices()
         self._placement_map = self.placement.assign(
             runnable,
             self.n_cpus,
             self.placement_weight,
             weights=self.placement_weights(runnable),
+            online=online,
         )
         return self._placement_map
 
@@ -505,6 +523,17 @@ class Scheduler(ABC):
         run-to-horizon batches are invalidated.  Called by
         :meth:`SimThread.pin_to` for threads already bound to a kernel;
         overrides must call super.
+        """
+        self.state_epoch += 1
+
+    def note_capacity_change(self) -> None:
+        """Hook: the kernel's online-CPU set changed (fail/recover).
+
+        Placement assigns threads over the online CPUs and capacity
+        thresholds scale with :attr:`online_cpu_count`, so every cached
+        placement map and in-flight run-to-horizon batch is invalidated
+        by bumping the epoch.  Called by :meth:`Kernel.fail_cpu` and
+        :meth:`Kernel.recover_cpu`; overrides must call super.
         """
         self.state_epoch += 1
 

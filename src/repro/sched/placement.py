@@ -51,6 +51,7 @@ class PlacementPolicy(ABC):
         n_cpus: int,
         weight: ThreadWeight,
         weights: "Optional[list[float]]" = None,
+        online: "Optional[tuple[int, ...]]" = None,
     ) -> dict[int, int]:
         """Map each thread's tid to the CPU index it may run on.
 
@@ -60,6 +61,14 @@ class PlacementPolicy(ABC):
         them index-aligned with ``threads`` so the policy does not make
         one Python call per thread per round.  The mapping must respect
         each thread's ``affinity`` when set.
+
+        ``online`` restricts candidate CPUs to the given ascending
+        index tuple (simulated hotplug: failed CPUs must receive no
+        placements).  ``None`` — the overwhelmingly common case — means
+        every CPU is online and keeps the unrestricted fast path.  A
+        pinned thread whose affinity names an offline CPU falls back to
+        an online one deterministically (the kernel drains such pins on
+        failure, so this is a defensive clamp, not a steady state).
         """
 
     @staticmethod
@@ -78,6 +87,7 @@ class LeastLoadedPlacement(PlacementPolicy):
         n_cpus: int,
         weight: ThreadWeight,
         weights: "Optional[list[float]]" = None,
+        online: "Optional[tuple[int, ...]]" = None,
     ) -> dict[int, int]:
         loads = [0.0] * n_cpus
         mapping: dict[int, int] = {}
@@ -94,14 +104,38 @@ class LeastLoadedPlacement(PlacementPolicy):
                 (-w, t.tid, t) for w, t in zip(weights, threads)
             ]
         decorated.sort()
+        if online is None:
+            candidates: "range | tuple[int, ...]" = range(n_cpus)
+        else:
+            candidates = online
+        first = candidates[0] if candidates else 0
+        online_set = None if online is None else frozenset(online)
         for neg_weight, tid, thread in decorated:
             affinity = thread.affinity
             if affinity is not None:
                 cpu = affinity if affinity < n_cpus else n_cpus - 1
-            else:
+                if online_set is not None and cpu not in online_set:
+                    # Defensive clamp: a pin naming a failed CPU lands
+                    # on the least-loaded online CPU instead.
+                    cpu = first
+                    best = loads[first]
+                    for index in candidates:
+                        load = loads[index]
+                        if load < best:
+                            best = load
+                            cpu = index
+            elif online is None:
                 cpu = 0
                 best = loads[0]
                 for index in range(1, n_cpus):
+                    load = loads[index]
+                    if load < best:
+                        best = load
+                        cpu = index
+            else:
+                cpu = first
+                best = loads[first]
+                for index in candidates:
                     load = loads[index]
                     if load < best:
                         best = load
@@ -121,13 +155,25 @@ class PinnedPlacement(PlacementPolicy):
         n_cpus: int,
         weight: ThreadWeight,
         weights: "Optional[list[float]]" = None,
+        online: "Optional[tuple[int, ...]]" = None,
     ) -> dict[int, int]:
         mapping: dict[int, int] = {}
+        if online is None:
+            for thread in threads:
+                if thread.affinity is not None:
+                    mapping[thread.tid] = min(thread.affinity, n_cpus - 1)
+                else:
+                    mapping[thread.tid] = thread.tid % n_cpus
+            return mapping
+        online_set = frozenset(online)
         for thread in threads:
             if thread.affinity is not None:
-                mapping[thread.tid] = min(thread.affinity, n_cpus - 1)
+                cpu = min(thread.affinity, n_cpus - 1)
+                if cpu not in online_set:
+                    cpu = online[cpu % len(online)]
             else:
-                mapping[thread.tid] = thread.tid % n_cpus
+                cpu = online[thread.tid % len(online)]
+            mapping[thread.tid] = cpu
         return mapping
 
 

@@ -381,8 +381,14 @@ class ReservationScheduler(Scheduler):
         return self._reserved_ppt_total
 
     def capacity_ppt(self) -> int:
-        """Total schedulable capacity: one ``PROPORTION_SCALE`` per CPU."""
-        return self.n_cpus * PROPORTION_SCALE
+        """Total schedulable capacity: one ``PROPORTION_SCALE`` per CPU.
+
+        Scales with the number of *online* CPUs, so a simulated CPU
+        failure immediately shrinks what admission control and the
+        degradation machinery may hand out.  With every CPU online
+        (the common case) this equals ``n_cpus * PROPORTION_SCALE``.
+        """
+        return self.online_cpu_count * PROPORTION_SCALE
 
     def deadline_misses(self) -> int:
         """Total deadline misses across all reservation threads.

@@ -32,7 +32,7 @@ class CPUState:
     index:
         CPU number, 0-based.
     idle_us:
-        Time this CPU spent with nothing to run.
+        Time this CPU spent online with nothing to run.
     stolen_dispatch_us:
         Dispatch overhead charged on this CPU (to no thread).
     dispatches:
@@ -40,6 +40,14 @@ class CPUState:
     overhead_accumulator:
         Fractional-microsecond remainder of the per-dispatch overhead
         model, kept per CPU so accounting is independent across CPUs.
+    online:
+        Whether the CPU participates in dispatch rounds.  Taken down /
+        brought back by :meth:`Kernel.fail_cpu` /
+        :meth:`Kernel.recover_cpu` (simulated hotplug).
+    offline_us:
+        Time this CPU spent failed.  Charged instead of ``idle_us``
+        while offline, so the conservation identity extends to
+        ``thread_cpu + idle + stolen + offline == n_cpus * now``.
     """
 
     index: int
@@ -47,6 +55,8 @@ class CPUState:
     stolen_dispatch_us: int = 0
     dispatches: int = 0
     overhead_accumulator: float = 0.0
+    online: bool = True
+    offline_us: int = 0
 
     def busy_fraction(self, elapsed_us: int) -> float:
         """Fraction of ``elapsed_us`` this CPU was not idle."""

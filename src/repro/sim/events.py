@@ -101,6 +101,14 @@ class EventQueue:
         self._heap.clear()
         self._live = 0
 
+    def pending(self) -> list[Event]:
+        """Snapshot of non-cancelled events in firing order.
+
+        Introspection only (tests, tracing tools); popping still goes
+        through :meth:`pop_due`.
+        """
+        return sorted(event for event in self._heap if not event.cancelled)
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)

@@ -44,8 +44,10 @@ so every seed experiment and figure reproduction is bit-identical.
 Accounting totals (``idle_us``, ``stolen_dispatch_us``,
 ``dispatch_count``) aggregate the per-CPU :class:`CPUState` records and
 are expressed in CPU-microseconds, so the conservation identity
-``total_thread_cpu + idle + stolen == n_cpus * now`` holds for every
-CPU count.
+``total_thread_cpu + idle + stolen + offline == n_cpus * now`` holds
+for every CPU count (``offline`` is zero unless :meth:`Kernel.fail_cpu`
+took a CPU down — failed CPUs accrue ``offline_us`` instead of idle
+time, see the CPU-hotplug section below).
 
 Run-to-horizon engine
 ---------------------
@@ -215,12 +217,24 @@ class Kernel:
         self._thread_tids: set[int] = set()
         #: Per-CPU run state; aggregates are exposed as properties.
         self.cpu_states: list[CPUState] = [CPUState(i) for i in range(self.n_cpus)]
+        #: Online/offline partitions of ``cpu_states`` (index order),
+        #: rebuilt by :meth:`fail_cpu` / :meth:`recover_cpu` so the hot
+        #: dispatch paths never test ``online`` per CPU per round.
+        self._online_states: list[CPUState] = list(self.cpu_states)
+        self._offline_states: list[CPUState] = []
         #: Running totals mirroring the per-CPU fields, maintained at
         #: every mutation site so the aggregate properties are O(1)
         #: instead of O(n_cpus) sums (hot in bench reporting and tests).
         self._idle_us_total = 0
         self._stolen_dispatch_us_total = 0
         self._dispatch_count_total = 0
+        self._offline_us_total = 0
+        #: Callbacks invoked as ``listener(now, online_cpu_count)``
+        #: after every CPU failure or recovery (degradation policies).
+        self._capacity_listeners: list[Callable[[int, int], None]] = []
+        #: Threads forcibly re-pinned off a failed CPU, with the online
+        #: CPU they were parked on, so recovery can restore their pins.
+        self._displaced_pins: dict[int, list[tuple[SimThread, int]]] = {}
         #: Scheduler epoch at which the last placement round ran (the
         #: horizon engine skips provably-identical recomputations).
         self._placement_epoch: Optional[int] = None
@@ -302,6 +316,34 @@ class Kernel:
         """Total CPU time consumed by kernel overhead (dispatch + controller)."""
         return self.stolen_dispatch_us + self.stolen_controller_us
 
+    @property
+    def offline_us(self) -> int:
+        """Total time CPUs spent failed (CPU-microseconds; O(1)).
+
+        Part of the conservation identity
+        ``thread_cpu + idle + stolen + offline == n_cpus * now``;
+        zero unless :meth:`fail_cpu` was used.
+        """
+        return self._offline_us_total
+
+    @property
+    def online_cpu_count(self) -> int:
+        """Number of CPUs currently online (all of them unless failed)."""
+        return len(self._online_states)
+
+    @property
+    def offline_cpu_count(self) -> int:
+        """Number of CPUs currently failed."""
+        return len(self._offline_states)
+
+    def online_cpu_indices(self) -> tuple[int, ...]:
+        """Indices of the online CPUs, ascending."""
+        return tuple(cpu.index for cpu in self._online_states)
+
+    def cpu_is_online(self, index: int) -> bool:
+        """Whether CPU ``index`` is online (False for out-of-range too)."""
+        return 0 <= index < self.n_cpus and self.cpu_states[index].online
+
     def capacity_us(self) -> int:
         """Total CPU-time capacity elapsed so far: ``n_cpus * now``."""
         return self.n_cpus * self.clock.now
@@ -325,6 +367,11 @@ class Kernel:
             raise SimulationError(
                 f"thread {thread.name!r} is pinned to CPU {thread.affinity} "
                 f"but the kernel has only {self.n_cpus} CPU(s)"
+            )
+        if thread.affinity is not None and not self.cpu_states[thread.affinity].online:
+            raise SimulationError(
+                f"thread {thread.name!r} is pinned to CPU {thread.affinity}, "
+                "which is offline (failed)"
             )
         env = ThreadEnv(kernel=self, thread=thread)
         thread.bind(env)
@@ -361,6 +408,17 @@ class Kernel:
         that *owns* a mutex must release it before being killed; the
         kernel cannot see ownership from the thread side, so killing an
         owner leaves the mutex held forever.
+
+        Horizon-batch interaction (audited): a calendar-delivered kill
+        can never land *inside* a run-to-horizon batch or an SMP round
+        replay — both engines break batching before dispatching again
+        whenever ``events.next_time() <= now``, and due events only
+        fire from the main loop, where every thread has left its slice
+        (READY/BLOCKED/SLEEPING).  The ``remove_thread`` epoch bump
+        then guarantees no subsequent batch or cached placement can
+        still name the victim, so kill timing is bit-identical across
+        ``engine="quantum"`` and ``engine="horizon"`` (pinned by the
+        kill-during-batch regression tests).
         """
         if thread.tid not in self._thread_tids:
             raise SimulationError(
@@ -426,6 +484,113 @@ class Kernel:
                 self.scheduler.on_mutex_unblock(thread, blocked_on, self.now)
 
     # ------------------------------------------------------------------
+    # CPU hotplug (fault injection)
+    # ------------------------------------------------------------------
+    def add_capacity_listener(
+        self, listener: Callable[[int, int], None]
+    ) -> None:
+        """Call ``listener(now, online_cpu_count)`` after every CPU
+        failure or recovery — the hook degradation policies attach to."""
+        self._capacity_listeners.append(listener)
+
+    def _rebuild_cpu_partitions(self) -> None:
+        self._online_states = [c for c in self.cpu_states if c.online]
+        self._offline_states = [c for c in self.cpu_states if not c.online]
+
+    def fail_cpu(self, index: int) -> list[SimThread]:
+        """Take CPU ``index`` offline (simulated hotplug failure).
+
+        Threads pinned to the failed CPU are *drained*: re-pinned to
+        the lowest-numbered online CPU through
+        :meth:`SimThread.pin_to`, whose
+        :meth:`~repro.sched.base.Scheduler.note_affinity_change` hook
+        bumps the scheduler's state epoch — so cached placements and
+        in-flight run-to-horizon batches are invalidated exactly as for
+        any live re-pin.  The scheduler is additionally notified via
+        :meth:`~repro.sched.base.Scheduler.note_capacity_change` (the
+        online-CPU set itself is pick-relevant: placement and capacity
+        read it), then every registered capacity listener fires.
+
+        From the failure instant the CPU accrues ``offline_us`` instead
+        of idle time and is skipped by dispatch rounds.  The CPU's past
+        accounting (dispatches, idle, stolen) is retained.  At least
+        one CPU must remain online, and — like
+        :meth:`kill_thread` — failing a CPU from inside a dispatch
+        slice is unsupported; fault plans deliver failures through the
+        event calendar, which only fires between rounds.
+
+        Returns the drained (re-pinned) threads.
+        """
+        if not 0 <= index < self.n_cpus:
+            raise SimulationError(
+                f"cannot fail CPU {index}: kernel has {self.n_cpus} CPU(s)"
+            )
+        if self._now_override is not None:
+            raise SimulationError(
+                f"cannot fail CPU {index} from inside a dispatch round"
+            )
+        cpu = self.cpu_states[index]
+        if not cpu.online:
+            raise SimulationError(f"CPU {index} is already offline")
+        if len(self._online_states) == 1:
+            raise SimulationError(
+                f"cannot fail CPU {index}: it is the last online CPU"
+            )
+        cpu.online = False
+        self._rebuild_cpu_partitions()
+        target = self._online_states[0].index
+        drained: list[SimThread] = []
+        displaced: list[tuple[SimThread, int]] = []
+        for thread in self.threads:
+            if thread.state.is_live and thread.affinity == index:
+                thread.pin_to(target)
+                displaced.append((thread, target))
+                drained.append(thread)
+        self._displaced_pins[index] = displaced
+        self.scheduler.note_capacity_change()
+        now = self.now
+        online = len(self._online_states)
+        for listener in self._capacity_listeners:
+            listener(now, online)
+        return drained
+
+    def recover_cpu(self, index: int) -> list[SimThread]:
+        """Bring a failed CPU back online.
+
+        Threads that :meth:`fail_cpu` drained off the CPU are re-pinned
+        back to it, provided they are still live and still parked where
+        the drain left them (a workload that re-pinned a drained thread
+        in the meantime keeps its newer placement).  The scheduler's
+        capacity note and the capacity listeners fire as for a failure.
+
+        Returns the threads whose pins were restored.
+        """
+        if not 0 <= index < self.n_cpus:
+            raise SimulationError(
+                f"cannot recover CPU {index}: kernel has {self.n_cpus} CPU(s)"
+            )
+        if self._now_override is not None:
+            raise SimulationError(
+                f"cannot recover CPU {index} from inside a dispatch round"
+            )
+        cpu = self.cpu_states[index]
+        if cpu.online:
+            raise SimulationError(f"CPU {index} is already online")
+        cpu.online = True
+        self._rebuild_cpu_partitions()
+        restored: list[SimThread] = []
+        for thread, parked_on in self._displaced_pins.pop(index, []):
+            if thread.state.is_live and thread.affinity == parked_on:
+                thread.pin_to(index)
+                restored.append(thread)
+        self.scheduler.note_capacity_change()
+        now = self.now
+        online = len(self._online_states)
+        for listener in self._capacity_listeners:
+            listener(now, online)
+        return restored
+
+    # ------------------------------------------------------------------
     # periodic helpers / controller overhead hook
     # ------------------------------------------------------------------
     def add_periodic(
@@ -452,14 +617,22 @@ class Kernel:
             return
         self._tick(us)
         if reason == "dispatch":
-            self.cpu_states[0].stolen_dispatch_us += us
+            # The stealing CPU is the lowest-numbered *online* one (CPU
+            # 0 unless it has failed).
+            self._online_states[0].stolen_dispatch_us += us
             self._stolen_dispatch_us_total += us
         else:
             self.stolen_controller_us += us
         if self.n_cpus > 1 and self._now_override is None:
-            for cpu in self.cpu_states[1:]:
+            online = self._online_states
+            for cpu in online[1:]:
                 cpu.idle_us += us
-            self._idle_us_total += us * (self.n_cpus - 1)
+            self._idle_us_total += us * (len(online) - 1)
+            offline = self._offline_states
+            if offline:
+                for cpu in offline:
+                    cpu.offline_us += us
+                self._offline_us_total += us * len(offline)
 
     # ------------------------------------------------------------------
     # time
@@ -599,9 +772,15 @@ class Kernel:
         return True
 
     def _charge_idle(self, us: int) -> None:
-        for cpu in self.cpu_states:
+        online = self._online_states
+        for cpu in online:
             cpu.idle_us += us
-        self._idle_us_total += us * self.n_cpus
+        self._idle_us_total += us * len(online)
+        offline = self._offline_states
+        if offline:
+            for cpu in offline:
+                cpu.offline_us += us
+            self._offline_us_total += us * len(offline)
 
     # ------------------------------------------------------------------
     # SMP dispatch rounds
@@ -634,7 +813,7 @@ class Kernel:
             self._placement_epoch = epoch
         picks: list[tuple[CPUState, SimThread]] = []
         idle_cpus: list[CPUState] = []
-        for cpu in self.cpu_states:
+        for cpu in self._online_states:
             thread = scheduler.pick_next_cpu(cpu.index, t0)
             if thread is None:
                 idle_cpus.append(cpu)
@@ -730,6 +909,12 @@ class Kernel:
                 cpu.idle_us += span
             idle_total += span * len(idle_cpus)
         self._idle_us_total = idle_total
+        offline = self._offline_states
+        if offline:
+            span = window_end - t0
+            for cpu in offline:
+                cpu.offline_us += span
+            self._offline_us_total += span * len(offline)
 
     # ------------------------------------------------------------------
     # dispatch

@@ -215,6 +215,11 @@ class SimThread:
                     f"{self.name}: cannot pin to CPU {cpu}, the kernel has "
                     f"only {self._env.kernel.n_cpus} CPU(s)"
                 )
+            if self._env is not None and not self._env.kernel.cpu_is_online(cpu):
+                raise ValueError(
+                    f"{self.name}: cannot pin to CPU {cpu}, it is offline "
+                    "(failed)"
+                )
         changed = cpu != self.affinity
         self.affinity = cpu
         if changed and self._env is not None:

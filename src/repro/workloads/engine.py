@@ -408,6 +408,17 @@ class WorkloadEngine:
         index = stream.arrivals_seen()
         name = f"{stream.name}.{index}"
         pin = template.resolve_pin(index)
+        if (
+            pin is not None
+            and 0 <= pin < self.kernel.n_cpus
+            and not self.kernel.cpu_is_online(pin)
+        ):
+            # The pinned CPU is offline (failed): park the arrival on
+            # the lowest online CPU, mirroring the kernel's drain
+            # semantics for threads displaced by ``fail_cpu``.  An
+            # out-of-range pin still raises — that is a configuration
+            # error, not a degraded machine.
+            pin = self.kernel.online_cpu_indices()[0]
         spec = template.spec
         record_tag = tag if tag is not None else template.name
         if (

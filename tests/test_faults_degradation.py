@@ -1,0 +1,169 @@
+"""Unit tests for the squish / shed / revoke degradation chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import DegradationManager
+from repro.sched.rbs import ReservationScheduler
+from repro.sim.kernel import Kernel
+
+from tests.conftest import spin_body
+
+
+def make_kernel(n_cpus: int = 2) -> Kernel:
+    return Kernel(
+        ReservationScheduler(),
+        n_cpus=n_cpus,
+        charge_dispatch_overhead=False,
+        syscall_cost_us=0,
+    )
+
+
+def reserve(kernel, name, ppt, period_us=10_000):
+    thread = kernel.spawn(name, spin_body())
+    kernel.scheduler.set_reservation(thread, ppt, period_us)
+    return thread
+
+
+class TestDegrade:
+    def test_no_action_when_capacity_still_fits(self):
+        kernel = make_kernel(n_cpus=4)
+        for i in range(3):
+            reserve(kernel, f"w{i}", 400)
+        manager = DegradationManager(kernel, kernel.scheduler)
+        kernel.run_for(5_000)
+        kernel.fail_cpu(3)  # 1200 ppt still fits 3000
+        assert manager.actions == []
+        assert manager.pending_restorations() == 0
+
+    def test_squish_scales_proportionally_and_restores(self):
+        kernel = make_kernel(n_cpus=2)
+        threads = [reserve(kernel, f"w{i}", 400) for i in range(4)]
+        manager = DegradationManager(kernel, kernel.scheduler)
+        kernel.run_for(10_000)
+        kernel.fail_cpu(1)  # 1600 ppt against a 1000 budget
+        squishes = [a for a in manager.actions if a.action == "squish"]
+        assert len(squishes) == 4
+        assert all(a.after_ppt == 250 for a in squishes)
+        assert kernel.scheduler.total_reserved_ppt() == 1_000
+        assert manager.pending_restorations() == 4
+        kernel.run_for(10_000)
+        kernel.recover_cpu(1)
+        # Re-admission is delayed by the backoff, then full.
+        assert manager.pending_restorations() == 4
+        kernel.run_for(manager.readmit_backoff_us + 5_000)
+        assert manager.pending_restorations() == 0
+        for thread in threads:
+            assert kernel.scheduler.reservation(thread).proportion_ppt == 400
+
+    def test_shed_kills_best_effort_newest_first(self):
+        kernel = make_kernel(n_cpus=2)
+        # Floors won't fit: squishing to min_ppt still oversubscribes.
+        for i in range(3):
+            reserve(kernel, f"rt{i}", 900)
+        best_effort = [kernel.spawn(f"be{i}", spin_body()) for i in range(2)]
+        manager = DegradationManager(
+            kernel, kernel.scheduler, min_proportion_ppt=600
+        )
+        kernel.run_for(5_000)
+        kernel.fail_cpu(1)  # floors 3 x 600 = 1800 > 1000
+        sheds = [a for a in manager.actions if a.action == "shed"]
+        assert [a.thread for a in sheds] == ["be1", "be0"]  # newest first
+        assert all(not t.state.is_live for t in best_effort)
+
+    def test_revoke_lowest_value_until_fit(self):
+        kernel = make_kernel(n_cpus=2)
+        small = reserve(kernel, "small", 700)
+        big = reserve(kernel, "big", 900)
+        manager = DegradationManager(
+            kernel, kernel.scheduler, min_proportion_ppt=700
+        )
+        kernel.run_for(5_000)
+        kernel.fail_cpu(1)  # floors 700 + 900*1000//1600=562 -> 700+700
+        revokes = [a for a in manager.actions if a.action == "revoke"]
+        assert len(revokes) >= 1
+        # The smallest reservation goes first.
+        assert revokes[0].thread == "small"
+        assert kernel.scheduler.reservation(small) is None
+        assert kernel.scheduler.reservation(big) is not None
+        assert kernel.scheduler.total_reserved_ppt() <= 1_000
+        # Recovery re-admits the revoked reservation at full value.
+        kernel.run_for(5_000)
+        kernel.recover_cpu(1)
+        kernel.run_for(manager.readmit_backoff_us + 5_000)
+        assert kernel.scheduler.reservation(small).proportion_ppt == 700
+        readmits = [a for a in manager.actions if a.action == "readmit"]
+        assert [a.thread for a in readmits] == ["small"]
+        assert manager.pending_restorations() == 0
+
+    def test_on_shed_callback_fires_before_kill(self):
+        kernel = make_kernel(n_cpus=2)
+        reserve(kernel, "rt0", 800)
+        reserve(kernel, "rt1", 800)
+        kernel.spawn("be", spin_body())
+        seen = []
+        manager = DegradationManager(
+            kernel,
+            kernel.scheduler,
+            min_proportion_ppt=600,
+            on_shed=lambda thread: seen.append(
+                (thread.name, thread.state.is_live)
+            ),
+        )
+        kernel.run_for(5_000)
+        kernel.fail_cpu(1)  # floors 2 x 600 = 1200 > 1000 -> shed
+        assert seen == [("be", True)]  # observed alive, then killed
+        assert manager.actions[-1].action in ("shed", "revoke")
+
+
+class TestBackoff:
+    def test_backoff_doubles_while_capacity_is_short(self):
+        kernel = make_kernel(n_cpus=4)
+        for i in range(4):
+            reserve(kernel, f"w{i}", 900)
+        manager = DegradationManager(kernel, kernel.scheduler)
+        kernel.run_for(5_000)
+        kernel.fail_cpu(3)
+        kernel.fail_cpu(2)  # 3600 ppt against 2000: deep squish
+        assert manager.pending_restorations() == 4
+        kernel.run_for(5_000)
+        kernel.recover_cpu(2)  # 3000 budget: still not enough for 3600
+        kernel.run_for(manager.readmit_backoff_us + 5_000)
+        # Partial restoration happened; the rest is still pending with a
+        # doubled backoff.
+        assert 0 < manager.pending_restorations() <= 4
+        assert manager._backoff_us == 2 * manager.readmit_backoff_us
+        kernel.run_for(2 * manager.readmit_backoff_us + 5_000)
+        # Still short: the retry fired again but could not finish.
+        assert manager.pending_restorations() > 0
+        kernel.recover_cpu(3)
+        kernel.run_for(8 * manager.readmit_backoff_us)
+        assert manager.pending_restorations() == 0
+        assert kernel.scheduler.total_reserved_ppt() == 3_600
+        # Backoff resets once everything is home.
+        assert manager._backoff_us == manager.readmit_backoff_us
+
+    def test_constructor_validation(self):
+        kernel = make_kernel()
+        with pytest.raises(ValueError, match="min_proportion_ppt"):
+            DegradationManager(kernel, kernel.scheduler, min_proportion_ppt=-1)
+        with pytest.raises(ValueError, match="readmit_backoff_us"):
+            DegradationManager(kernel, kernel.scheduler, readmit_backoff_us=0)
+
+
+class TestExitDuringDegradation:
+    def test_exited_threads_are_dropped_from_restoration(self):
+        kernel = make_kernel(n_cpus=2)
+        threads = [reserve(kernel, f"w{i}", 800) for i in range(2)]
+        manager = DegradationManager(kernel, kernel.scheduler)
+        kernel.run_for(5_000)
+        kernel.fail_cpu(1)
+        assert manager.pending_restorations() == 2
+        kernel.kill_thread(threads[0])
+        kernel.run_for(2_000)
+        kernel.recover_cpu(1)
+        kernel.run_for(manager.readmit_backoff_us + 5_000)
+        # The dead thread is forgotten, the survivor fully restored.
+        assert manager.pending_restorations() == 0
+        assert kernel.scheduler.reservation(threads[1]).proportion_ppt == 800

@@ -1,10 +1,11 @@
-"""Golden-trace conformance: fresh runs must match the committed corpus.
+"""Golden-trace conformance: fresh runs must match the committed corpora.
 
-The corpus (``tests/golden/churn_smoke.json``) pins the full dispatch
-behaviour of the golden churn scenario for every scheduler policy x
-both kernel engines x 1 and 4 CPUs.  A failure here means scheduling
-behaviour changed: if intentional, refresh the corpus with
-``python -m repro golden --regen`` and commit the diff.
+Each corpus (``tests/golden/churn_smoke.json``,
+``tests/golden/fault_smoke.json``) pins the full dispatch behaviour of
+one golden scenario for every scheduler policy x both kernel engines x
+1 and 4 CPUs.  A failure here means scheduling behaviour changed: if
+intentional, refresh the corpora with ``python -m repro golden --regen``
+and commit the diff.
 """
 
 from __future__ import annotations
@@ -16,26 +17,37 @@ import pytest
 
 from repro import golden
 
-CORPUS_PATH = Path(__file__).parent / "golden" / "churn_smoke.json"
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SCENARIOS = sorted(golden.GOLDEN_SCENARIOS)
 
 
 @pytest.fixture(scope="module")
-def corpus() -> dict:
-    return golden.load_corpus(str(CORPUS_PATH))
+def corpora() -> dict:
+    return {
+        name: golden.load_corpus(
+            str(GOLDEN_DIR / Path(spec.corpus_path).name)
+        )
+        for name, spec in golden.GOLDEN_SCENARIOS.items()
+    }
 
 
-def test_corpus_is_committed_and_complete(corpus):
-    assert corpus["scenario"] == golden.GOLDEN_SCENARIO
-    assert corpus["duration_us"] == golden.GOLDEN_DURATION_US
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_corpus_is_committed_and_complete(corpora, scenario):
+    corpus = corpora[scenario]
+    spec = golden.scenario_spec(scenario)
+    assert corpus["scenario"] == scenario
+    assert corpus["duration_us"] == spec.duration_us
     expected_keys = {golden.entry_key(*cell) for cell in golden.iter_matrix()}
     assert set(corpus["entries"]) == expected_keys
     # 5 schedulers x 2 engines x 2 CPU counts.
     assert len(corpus["entries"]) == 20
 
 
+@pytest.mark.parametrize("scenario", SCENARIOS)
 @pytest.mark.parametrize("scheduler", sorted(golden.GOLDEN_SCHEDULERS))
-def test_golden_traces_conform(corpus, scheduler):
+def test_golden_traces_conform(corpora, scenario, scheduler):
     """Every (engine, n_cpus) cell of one scheduler matches the corpus."""
+    corpus = corpora[scenario]
     mismatches = []
     for engine in golden.GOLDEN_ENGINES:
         for n_cpus in golden.GOLDEN_CPU_COUNTS:
@@ -43,14 +55,17 @@ def test_golden_traces_conform(corpus, scheduler):
             if message is not None:
                 mismatches.append(message)
     assert not mismatches, (
-        "golden-trace divergence (intentional? run "
+        f"golden-trace divergence in {scenario} (intentional? run "
         "`python -m repro golden --regen`):\n" + "\n".join(mismatches)
     )
 
 
-def test_corpus_engines_agree(corpus):
-    """Within the corpus itself, quantum and horizon cells are identical
-    (the committed baseline must never encode an engine divergence)."""
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_corpus_engines_agree(corpora, scenario):
+    """Within each corpus itself, quantum and horizon cells are identical
+    (the committed baseline must never encode an engine divergence) —
+    under fault injection too."""
+    corpus = corpora[scenario]
     for scheduler in golden.GOLDEN_SCHEDULERS:
         for n_cpus in golden.GOLDEN_CPU_COUNTS:
             quantum = corpus["entries"][
@@ -59,25 +74,61 @@ def test_corpus_engines_agree(corpus):
             horizon = corpus["entries"][
                 golden.entry_key(scheduler, "horizon", n_cpus)
             ]
-            assert quantum == horizon, (scheduler, n_cpus)
+            assert quantum == horizon, (scenario, scheduler, n_cpus)
 
 
-def test_corpus_cells_exercise_churn(corpus):
-    """Every cell spawns, completes and kills jobs — a corpus cell that
-    stopped churning would silently weaken the conformance check."""
-    for key, entry in corpus["entries"].items():
+def test_corpus_cells_exercise_churn(corpora):
+    """Every churn cell spawns, completes and kills jobs — a corpus cell
+    that stopped churning would silently weaken the conformance check."""
+    for key, entry in corpora["churn_smoke"]["entries"].items():
         assert entry["spawned"] > 0, key
         assert entry["completed"] > 0, key
         assert entry["killed"] > 0, key
         assert entry["dispatches"] > 0, key
 
 
-def test_verify_reports_divergence(monkeypatch, corpus):
+def test_fault_corpus_cells_stay_busy(corpora):
+    """Every fault cell keeps spawning and completing work around the
+    injected faults (the hijacked victims themselves never complete)."""
+    for key, entry in corpora["fault_smoke"]["entries"].items():
+        assert entry["spawned"] > 0, key
+        assert entry["completed"] > 0, key
+        assert entry["dispatches"] > 0, key
+
+
+def test_fault_scenario_exercises_faults():
+    """The builder attaches a live injector whose plan covers a runaway,
+    a stall and (multi-CPU) a fail/recover pair — guard against the
+    scenario silently degenerating into plain churn."""
+    from repro.faults import CPU_FAIL, RUNAWAY_START, STALL_START
+
+    kernel, _churn = golden.build_fault_golden("rbs", "horizon", 4)
+    labels = [
+        event.label
+        for event in kernel.events.pending()
+        if event.label.startswith("fault:")
+    ]
+    assert f"fault:{RUNAWAY_START}" in labels
+    assert f"fault:{STALL_START}" in labels
+    assert f"fault:{CPU_FAIL}" in labels
+    # The single-CPU variant must not try to fail its only CPU.
+    kernel1, _ = golden.build_fault_golden("rbs", "horizon", 1)
+    labels1 = [
+        event.label
+        for event in kernel1.events.pending()
+        if event.label.startswith("fault:")
+    ]
+    assert f"fault:{CPU_FAIL}" not in labels1
+    assert f"fault:{RUNAWAY_START}" in labels1
+
+
+def test_verify_reports_divergence(monkeypatch, corpora):
     """A corrupted corpus entry is reported, not silently accepted.
 
     ``run_golden`` is stubbed to echo the committed entries so this
     exercises only the diff/reporting logic, not 20 more simulations.
     """
+    corpus = corpora["churn_smoke"]
     broken = json.loads(json.dumps(corpus))
     key = golden.entry_key("rbs", "horizon", 1)
     broken["entries"][key]["dispatch_sha256"] = "0" * 64
@@ -85,7 +136,9 @@ def test_verify_reports_divergence(monkeypatch, corpus):
     monkeypatch.setattr(
         golden,
         "run_golden",
-        lambda *cell: dict(corpus["entries"][golden.entry_key(*cell)]),
+        lambda scheduler, engine, n_cpus, scenario=golden.GOLDEN_SCENARIO: dict(
+            corpus["entries"][golden.entry_key(scheduler, engine, n_cpus)]
+        ),
     )
     messages = golden.verify_corpus(broken)
     assert any(key in message and "diverged" in message for message in messages)
@@ -95,6 +148,13 @@ def test_verify_reports_divergence(monkeypatch, corpus):
     assert any(
         "missing" in message for message in golden.verify_corpus(broken)
     )
+    # An unknown scenario short-circuits instead of crashing.
+    broken["scenario"] = "not_a_scenario"
+    messages = golden.verify_corpus(broken)
+    assert messages == [
+        "not_a_scenario: unknown golden scenario "
+        f"(known: {sorted(golden.GOLDEN_SCENARIOS)})"
+    ]
 
 
 def test_load_corpus_rejects_wrong_kind(tmp_path):
@@ -109,12 +169,20 @@ def test_load_corpus_rejects_wrong_kind(tmp_path):
         golden.load_corpus(str(path))
 
 
-def test_write_corpus_roundtrip(tmp_path, corpus):
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown golden scenario"):
+        golden.scenario_spec("nope")
+    with pytest.raises(ValueError, match="unknown golden scenario"):
+        golden.run_golden("rbs", "horizon", 1, scenario="nope")
+
+
+def test_write_corpus_roundtrip(tmp_path, corpora):
     """``--regen`` output round-trips and matches the committed corpus
     (the full matrix was already re-simulated by the conform tests, so
-    equality against ``corpus`` is the cheap way to assert it)."""
+    equality against the committed entries is the cheap way to assert
+    it)."""
     path = tmp_path / "fresh.json"
     written = golden.write_corpus(str(path))
     loaded = golden.load_corpus(str(path))
     assert loaded == written
-    assert written["entries"] == corpus["entries"]
+    assert written["entries"] == corpora["churn_smoke"]["entries"]

@@ -1,0 +1,245 @@
+"""Property-based fault-churn invariants (the robustness contract).
+
+Hypothesis layers random fault plans — CPU fail/recover windows, thread
+runaways, stalls, and controller sensor faults — on top of random
+open-system churn workloads, with the degradation manager and watchdog
+armed, and asserts the invariants that must survive any such sequence:
+
+* **conservation** — the extended identity
+  ``total_thread_cpu + idle + stolen + offline == n_cpus * now`` holds
+  at every checkpoint, so hotplug never leaks or double-charges time;
+* **no lost, no double-dispatched threads** — stream bookkeeping adds
+  up, every thread exists once, nothing runs after exiting, and no SMP
+  round dispatches a thread on two CPUs — even while CPUs drain and
+  hijacked bodies are swapped in and out;
+* **engine equivalence** — the quantum oracle and the horizon engine
+  produce bit-identical dispatch logs, accounting, injection records
+  and quarantine histories under every fault type.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ControllerConfig
+from repro.faults import (
+    CPU_FAIL,
+    RUNAWAY_START,
+    SENSOR_CORRUPT,
+    SENSOR_DROPOUT,
+    STALL_START,
+    DegradationManager,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.monitor.watchdog import Watchdog
+from repro.sim.requests import Compute, Sleep
+from repro.system import build_real_rate_system
+
+from tests.test_properties_churn import (
+    DURATION_US,
+    assert_no_lost_no_double,
+    build_churn,
+    observe,
+    stream_specs,
+)
+
+#: One injected fault: (time, kind knob, target knob, duration).
+fault_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=5_000, max_value=DURATION_US - 20_000),
+        st.sampled_from(["cpu", "runaway", "stall"]),
+        st.integers(min_value=0, max_value=5),
+        st.sampled_from([8_000, 15_000, 25_000]),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def fault_plan(n_cpus, n_streams, faults, seed=17):
+    """Translate strategy tuples into a (possibly missing-target) plan."""
+    events = []
+    for at_us, kind, target, duration in faults:
+        if kind == "cpu":
+            if n_cpus == 1:
+                continue  # the last online CPU cannot fail
+            events.append(
+                FaultEvent(
+                    at_us, CPU_FAIL, cpu=1 + target % (n_cpus - 1),
+                    duration_us=duration,
+                )
+            )
+        else:
+            fault = RUNAWAY_START if kind == "runaway" else STALL_START
+            # Target early job indices; a name that never spawned is a
+            # logged miss, which both engines must record identically.
+            name = f"s{target % n_streams}.{target % 3}"
+            events.append(
+                FaultEvent(at_us, fault, thread=name, duration_us=duration)
+            )
+    return FaultPlan(events=tuple(events), seed=seed)
+
+
+def assert_conserved_with_offline(kernel):
+    assert (
+        kernel.total_thread_cpu_us()
+        + kernel.idle_us
+        + kernel.stolen_us
+        + kernel.offline_us
+        == kernel.capacity_us()
+    ), "extended conservation identity violated under faults"
+
+
+def build_faulty_churn(engine, n_cpus, specs, faults):
+    kernel, churn = build_churn(engine, n_cpus, specs, [])
+    injector = FaultInjector(
+        kernel, fault_plan(n_cpus, len(specs), faults)
+    )
+    injector.install()
+    manager = DegradationManager(kernel, kernel.scheduler)
+    watchdog = Watchdog(
+        kernel, kernel.scheduler,
+        period_us=10_000, miss_windows=2, stall_windows=3,
+    )
+    return kernel, churn, injector, manager, watchdog
+
+
+def observe_faults(injector, manager, watchdog):
+    return (
+        tuple((r.at_us, r.kind, r.detail, r.hit) for r in injector.log),
+        tuple(
+            (a.at_us, a.action, a.thread, a.before_ppt, a.after_ppt)
+            for a in manager.actions
+        ),
+        tuple(
+            # Keyed by name: tids are process-global, so the second
+            # kernel built in one test numbers its threads higher.
+            (q.name, q.verdict, q.quarantined_at_us, q.release_at_us,
+             q.released, q.repromoted)
+            for q in watchdog.history
+        ),
+    )
+
+
+@pytest.mark.parametrize("n_cpus", [1, 4])
+@settings(max_examples=12, deadline=None)
+@given(specs=stream_specs, faults=fault_specs)
+def test_fault_churn_invariants_and_engine_equivalence(n_cpus, specs, faults):
+    observations = {}
+    for engine in ("quantum", "horizon"):
+        kernel, churn, injector, manager, watchdog = build_faulty_churn(
+            engine, n_cpus, specs, faults
+        )
+        # Conservation must hold at arbitrary checkpoints, including
+        # ones that land inside fault windows.
+        for _ in range(3):
+            kernel.run_for(DURATION_US // 3)
+            assert_conserved_with_offline(kernel)
+        assert_no_lost_no_double(kernel, churn)
+        observations[engine] = (
+            observe(kernel), observe_faults(injector, manager, watchdog)
+        )
+    quantum, horizon = observations["quantum"], observations["horizon"]
+    assert horizon[0][0] == quantum[0][0], "dispatch log diverged"
+    assert horizon[0][1] == quantum[0][1], "per-thread accounting diverged"
+    assert horizon[0][2] == quantum[0][2], "kernel totals diverged"
+    assert horizon[1] == quantum[1], (
+        "injection / degradation / quarantine records diverged"
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    specs=stream_specs,
+    faults=fault_specs,
+    checkpoints=st.lists(
+        st.integers(min_value=4_000, max_value=40_000), min_size=2, max_size=4
+    ),
+)
+def test_conservation_at_irregular_checkpoints(specs, faults, checkpoints):
+    """Run lengths chosen independently of the fault times: conservation
+    and liveness bookkeeping hold no matter where the run pauses."""
+    kernel, churn, injector, _manager, _watchdog = build_faulty_churn(
+        "horizon", 4, specs, faults
+    )
+    for segment in checkpoints:
+        kernel.run_for(segment)
+        assert_conserved_with_offline(kernel)
+        online = sum(1 for c in kernel.cpu_states if c.online)
+        assert online == kernel.online_cpu_count
+        assert 1 <= online <= 4
+    assert_no_lost_no_double(kernel, churn)
+    # Every planned event either hit or was recorded as a miss — the
+    # injector never drops an event silently.
+    due = [e for e in injector.plan.events if e.at_us < kernel.now]
+    assert len(injector.log) >= len(due)
+
+
+#: Sensor fault windows aimed at controlled threads ``c0``/``c1``.
+sensor_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=10_000, max_value=80_000),
+        st.sampled_from(["dropout", "corrupt"]),
+        st.integers(min_value=0, max_value=2),   # target (c2 never exists)
+        st.sampled_from([10_000, 20_000]),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def thinker(burst_us, think_us):
+    def body(env):
+        while True:
+            yield Compute(burst_us)
+            yield Sleep(think_us)
+
+    return body
+
+
+@settings(max_examples=10, deadline=None)
+@given(sensors=sensor_specs)
+def test_sensor_faults_engine_equivalence(sensors):
+    """Dropout / corruption windows on controller sensors stay
+    bit-identical across engines: the corruption RNG is seeded and the
+    controller consumes the same faulty readings in the same order."""
+    events = tuple(
+        FaultEvent(
+            at_us,
+            SENSOR_DROPOUT if mode == "dropout" else SENSOR_CORRUPT,
+            thread=f"c{target}",
+            duration_us=duration,
+            magnitude=0.3 if mode == "corrupt" else 0.0,
+        )
+        for at_us, mode, target, duration in sensors
+    )
+    observations = {}
+    for engine in ("quantum", "horizon"):
+        system = build_real_rate_system(
+            ControllerConfig(),
+            charge_dispatch_overhead=False,
+            charge_controller_overhead=False,
+            record_dispatches=True,
+            engine=engine,
+        )
+        kernel = system.kernel
+        system.spawn_controlled("c0", thinker(800, 1_200))
+        system.spawn_controlled("c1", thinker(500, 2_000))
+        injector = FaultInjector(
+            kernel, FaultPlan(events=events, seed=23),
+            allocator=system.allocator,
+        )
+        injector.install()
+        kernel.run_for(120_000)
+        assert_conserved_with_offline(kernel)
+        observations[engine] = (
+            observe(kernel),
+            tuple((r.at_us, r.kind, r.detail, r.hit) for r in injector.log),
+        )
+    assert observations["quantum"] == observations["horizon"], (
+        "sensor faults broke engine equivalence"
+    )

@@ -174,6 +174,14 @@ class _FakeKernel:
     now: int = 0
     n_cpus: int = 1
     dispatch_interval_us: int = 1_000
+    offline_cpu_count: int = 0
+
+    @property
+    def online_cpu_count(self) -> int:
+        return self.n_cpus - self.offline_cpu_count
+
+    def online_cpu_indices(self) -> tuple[int, ...]:
+        return tuple(range(self.n_cpus))
 
 
 class DualHarness:
