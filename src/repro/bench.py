@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro._version import __version__
+from repro.core.artifacts import append_durable
 
 #: Version of the artifact layout written by :func:`bench_to_dict`.
 BENCH_SCHEMA_VERSION = 1
@@ -412,6 +413,56 @@ def run_bench(
     return [run_scenario(s, quick=quick, repeats=repeats) for s in scenarios]
 
 
+def run_bench_journaled(
+    names: Optional[list[str]] = None,
+    *,
+    quick: bool = False,
+    repeats: int = 3,
+    journal_path: str,
+    resume: bool = False,
+    on_event: Optional[Callable[[str], None]] = None,
+) -> tuple[list[BenchResult], int]:
+    """:func:`run_bench` under the sweep journal contract.
+
+    Each scenario's timing is durably journaled as it lands, so an
+    interrupted bench (Ctrl-C mid-suite) resumes without re-timing the
+    finished scenarios; returns ``(results, resumed count)``.  The
+    journal fingerprint pins the scenario list, ``quick`` and
+    ``repeats``, so a resume cannot silently merge timings from a
+    different configuration.  Scenarios run in-process, exactly as in
+    :func:`run_bench` — journaling must not add subprocess noise to
+    the timings.
+    """
+    from repro.orchestration.runner import run_journaled_serial
+
+    if names:
+        unknown = [n for n in names if n not in BENCH_REGISTRY]
+        if unknown:
+            raise BenchError(
+                f"unknown bench scenario(s) {unknown}; "
+                f"known: {sorted(BENCH_REGISTRY)}"
+            )
+        keys = list(names)
+    else:
+        keys = list(BENCH_REGISTRY)
+
+    def run_one(index: int, key: str) -> dict:
+        return run_scenario(
+            BENCH_REGISTRY[key], quick=quick, repeats=repeats
+        ).to_dict()
+
+    payloads, resumed = run_journaled_serial(
+        keys,
+        run_one,
+        journal_path=journal_path,
+        run_kind="bench",
+        fingerprint={"scenarios": keys, "quick": quick, "repeats": repeats},
+        resume=resume,
+        on_event=on_event,
+    )
+    return [BenchResult.from_dict(payloads[key]) for key in keys], resumed
+
+
 def bench_to_dict(
     results: list[BenchResult], *, quick: bool = False, repeats: int = 3
 ) -> dict:
@@ -639,8 +690,7 @@ def append_history(
 ) -> dict:
     """Append one history line for this run; returns the record."""
     record = history_line(results, quick=quick, repeats=repeats)
-    with open(path, "a") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    append_durable(path, json.dumps(record, sort_keys=True))
     return record
 
 
@@ -682,5 +732,6 @@ __all__ = [
     "history_line",
     "load_bench_artifact",
     "run_bench",
+    "run_bench_journaled",
     "run_scenario",
 ]

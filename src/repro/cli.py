@@ -19,6 +19,23 @@ separating elements of a list-valued point), fans the points out over
 schema-versioned JSON artifact.  ``--json -`` writes any artifact to
 stdout.
 
+Sweeps are **crash-safe** (see :mod:`repro.orchestration`): every
+settled point is journaled to an append-only ``*.partial.jsonl``, so
+an interrupted run (Ctrl-C, killed worker, OOM) resumes from where it
+stopped and produces an artifact byte-identical to an uninterrupted
+one::
+
+    python -m repro sweep figure8 --quick --param seed=0,1,2,3 \
+        --jobs 4 --timeout 120 --json f8.json
+    # ^C ... then later:
+    python -m repro sweep --resume f8.partial.jsonl --json f8.json
+
+Failing points are retried with capped, deterministically jittered
+exponential backoff (``--max-retries``, ``--backoff``,
+``--backoff-cap``); points that keep failing become explicit FAILED
+rows in the artifact and the command exits non-zero.  Interrupted
+runs exit 130 and print the resume command.
+
 ``report`` renders a result or sweep JSON artifact as a markdown
 report — metrics, per-tag exact-rank sojourn percentiles, the
 latency-vs-load response curve with its knee, the SLO-vs-PID
@@ -42,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -66,14 +84,30 @@ from repro.bench import (
     format_compare_table,
     load_bench_artifact,
     run_bench,
+    run_bench_journaled,
 )
+from repro.core.artifacts import write_atomic
 from repro.experiments.registry import (
     REGISTRY,
     ExperimentSpec,
     ParameterError,
     UnknownExperimentError,
 )
-from repro.experiments.sweep import run_sweep, sweep_to_json
+from repro.experiments.sweep import sweep_to_json
+from repro.orchestration import (
+    ChaosError,
+    ChaosPlan,
+    JournalError,
+    OrchestrationError,
+    OrchestrationInterrupted,
+    RetryPolicy,
+    orchestrate_sweep,
+)
+
+#: Exit status for an interrupted (but resumable) run: 128 + SIGINT,
+#: the conventional shell encoding, and distinct from 1 (findings /
+#: failed points) and 2 (usage error).
+EXIT_INTERRUPTED = 130
 
 
 def _parse_param_flags(flags: Sequence[str]) -> dict[str, str]:
@@ -117,9 +151,21 @@ def _write_artifact(text: str, path: str) -> None:
     if path == "-":
         sys.stdout.write(text + "\n")
     else:
-        with open(path, "w") as handle:
-            handle.write(text + "\n")
+        write_atomic(path, text + "\n")
         print(f"wrote {path}")
+
+
+def _default_journal_path(json_path: Optional[str], experiment: str) -> str:
+    """Where the sweep journal lives when --journal is not given.
+
+    Sits next to the artifact it is building (``f8.json`` →
+    ``f8.partial.jsonl``); falls back to the experiment name when the
+    artifact goes to stdout or nowhere.
+    """
+    if json_path is not None and json_path != "-":
+        stem, ext = os.path.splitext(json_path)
+        return (stem if ext else json_path) + ".partial.jsonl"
+    return f"{experiment}.partial.jsonl"
 
 
 # ----------------------------------------------------------------------
@@ -173,30 +219,118 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_resume_hint(
+    interrupt: OrchestrationInterrupted, command: str, json_flag: Optional[str]
+) -> None:
+    print(f"interrupted: {interrupt}", file=sys.stderr)
+    suffix = f" --json {json_flag}" if json_flag is not None else ""
+    print(
+        f"resume with: python -m repro {command} --resume "
+        f"{interrupt.journal_path}{suffix}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    spec = REGISTRY.get(args.experiment)
-    grid = _apply_shorthands(
-        spec, _parse_param_flags(args.param), None, args.seed
+    policy = RetryPolicy(
+        max_retries=args.max_retries,
+        backoff_base_s=args.backoff,
+        backoff_cap_s=args.backoff_cap,
+        seed=args.retry_seed,
+        timeout_s=args.timeout,
     )
-    if not grid:
-        raise ParameterError(
-            "sweep needs at least one --param name=v1,v2,... axis"
+    chaos = None
+    if args.chaos is not None:
+        chaos = ChaosPlan.parse(
+            args.chaos, seed=args.chaos_seed, hang_s=args.chaos_hang
         )
-    artifact = run_sweep(
-        spec.name, grid, jobs=args.jobs, quick=args.quick
-    )
-    if args.json != "-":
+
+    verbose = args.json != "-"
+
+    def notify(message: str) -> None:
+        if verbose:
+            print(message, file=sys.stderr)
+
+    if args.resume is not None:
+        if args.experiment is not None or args.param:
+            raise ParameterError(
+                "--resume takes the experiment and grid from the journal "
+                "header; drop the positional experiment and --param flags"
+            )
+        journal_path = args.resume
+        name = None
+        grid: Optional[dict[str, str]] = None
+    else:
+        if args.experiment is None:
+            raise ParameterError(
+                "sweep needs an experiment (or --resume JOURNAL)"
+            )
+        spec = REGISTRY.get(args.experiment)
+        grid = _apply_shorthands(
+            spec, _parse_param_flags(args.param), None, args.seed
+        )
+        if not grid:
+            raise ParameterError(
+                "sweep needs at least one --param name=v1,v2,... axis"
+            )
+        name = spec.name
+        journal_path = args.journal or _default_journal_path(
+            args.json, spec.name
+        )
+
+    try:
+        report = orchestrate_sweep(
+            name,
+            grid,
+            journal_path=journal_path,
+            jobs=args.jobs,
+            quick=args.quick,
+            resume=args.resume is not None,
+            retry_failed=args.retry_failed,
+            policy=policy,
+            chaos=chaos,
+            on_event=notify,
+        )
+    except OrchestrationInterrupted as interrupt:
+        _print_resume_hint(interrupt, "sweep", args.json)
+        return EXIT_INTERRUPTED
+
+    artifact = report.artifact
+    if verbose:
         points = artifact["points"]
         print(
-            f"swept {spec.name}: {len(points)} point(s) over "
+            f"swept {report.experiment}: {len(points)} point(s) over "
             f"{', '.join(artifact['grid'])} with {args.jobs} job(s)"
+            + (f" ({report.resumed} resumed from journal)" if report.resumed
+               else "")
         )
         for point in points:
             params = ", ".join(f"{k}={v}" for k, v in point["params"].items())
-            n_metrics = len(point["result"]["metrics"])
-            print(f"  {params}: {n_metrics} metrics")
+            if point["result"] is None:
+                error = point.get("error") or {}
+                print(
+                    f"  {params}: FAILED "
+                    f"({error.get('kind', '?')}: {error.get('detail', '?')})"
+                )
+            else:
+                n_metrics = len(point["result"]["metrics"])
+                print(f"  {params}: {n_metrics} metrics")
     if args.json is not None:
         _write_artifact(sweep_to_json(artifact), args.json)
+    if report.failed:
+        print(
+            f"{len(report.failed)} point(s) FAILED; journal kept at "
+            f"{report.journal_path} — retry them with: python -m repro sweep "
+            f"--resume {report.journal_path} --retry-failed"
+            + (f" --json {args.json}" if args.json is not None else ""),
+            file=sys.stderr,
+        )
+        return 1
+    if not args.keep_journal:
+        try:
+            os.unlink(report.journal_path)
+        except OSError:
+            pass
     return 0
 
 
@@ -275,8 +409,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.out == "-":
         sys.stdout.write(markdown)
     else:
-        with open(args.out, "w") as handle:
-            handle.write(markdown)
+        write_atomic(args.out, markdown)
         print(f"wrote {args.out}")
     return 0
 
@@ -345,9 +478,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.compare is not None:
         # Load before the (slow) run so a bad path fails fast.
         baseline = load_bench_artifact(args.compare)
-    results = run_bench(
-        args.scenario or None, quick=args.quick, repeats=args.repeats
-    )
+    try:
+        if args.journal is not None or args.resume is not None:
+            journal_path = args.resume or args.journal
+            results, resumed = run_bench_journaled(
+                args.scenario or None,
+                quick=args.quick,
+                repeats=args.repeats,
+                journal_path=journal_path,
+                resume=args.resume is not None,
+                on_event=lambda message: print(message, file=sys.stderr),
+            )
+            try:
+                os.unlink(journal_path)
+            except OSError:
+                pass
+        else:
+            results = run_bench(
+                args.scenario or None, quick=args.quick, repeats=args.repeats
+            )
+    except OrchestrationInterrupted as interrupt:
+        print(f"interrupted: {interrupt}", file=sys.stderr)
+        print(
+            f"resume with the same bench command plus "
+            f"--resume {interrupt.journal_path}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     if json_path != "-":
         print(format_bench_table(results))
     if json_path is not None:
@@ -418,7 +575,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_desc.set_defaults(handler=_cmd_describe)
 
     def add_run_flags(p: argparse.ArgumentParser, *, sweep: bool) -> None:
-        p.add_argument("experiment")
+        if sweep:
+            # Optional so ``sweep --resume JOURNAL`` can omit it (the
+            # journal header pins the experiment).
+            p.add_argument("experiment", nargs="?", default=None)
+        else:
+            p.add_argument("experiment")
         p.add_argument(
             "--param", action="append", default=[], metavar="NAME=VALUE",
             help=(
@@ -452,7 +614,68 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_flags(p_sweep, sweep=True)
     p_sweep.add_argument(
         "--jobs", type=int, default=1, metavar="N",
-        help="worker processes (1 = run in-process; default 1)",
+        help="worker processes (default 1)",
+    )
+    p_sweep.add_argument(
+        "--journal", metavar="PATH",
+        help=(
+            "crash-safety journal path (default: the --json path with a "
+            ".partial.jsonl suffix, else EXPERIMENT.partial.jsonl)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--resume", metavar="JOURNAL",
+        help=(
+            "resume an interrupted sweep from its journal; the experiment, "
+            "grid and --quick come from the journal header"
+        ),
+    )
+    p_sweep.add_argument(
+        "--retry-failed", action="store_true",
+        help="with --resume, re-run points the journal recorded as FAILED",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="per-point wall-clock timeout; the worker is killed and the "
+        "point retried (default: no timeout)",
+    )
+    p_sweep.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries per failing point before it becomes a FAILED row "
+        "(default 2)",
+    )
+    p_sweep.add_argument(
+        "--backoff", type=float, default=0.1, metavar="SECONDS",
+        help="base retry backoff; doubles per failure (default 0.1)",
+    )
+    p_sweep.add_argument(
+        "--backoff-cap", type=float, default=5.0, metavar="SECONDS",
+        help="backoff ceiling (default 5.0)",
+    )
+    p_sweep.add_argument(
+        "--retry-seed", type=int, default=0, metavar="S",
+        help="seed for the deterministic backoff jitter (default 0)",
+    )
+    p_sweep.add_argument(
+        "--keep-journal", action="store_true",
+        help="keep the journal after a fully successful sweep "
+        "(default: delete it; it is always kept on failure/interrupt)",
+    )
+    p_sweep.add_argument(
+        "--chaos", metavar="SPEC",
+        help=(
+            "inject seeded faults for testing: comma-separated mode=index "
+            "terms, ':' separating indices — e.g. 'kill=1:3,hang=5,abort=4' "
+            "(modes: kill, hang, raise, corrupt, nondet, abort)"
+        ),
+    )
+    p_sweep.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="S",
+        help="seed for chaos payload perturbation (default 0)",
+    )
+    p_sweep.add_argument(
+        "--chaos-hang", type=float, default=30.0, metavar="SECONDS",
+        help="how long the 'hang' chaos mode stalls a worker (default 30)",
     )
     p_sweep.set_defaults(handler=_cmd_sweep)
 
@@ -529,6 +752,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-history", action="store_true",
         help="skip appending this run to the history log",
     )
+    p_bench.add_argument(
+        "--journal", metavar="PATH",
+        help=(
+            "journal each scenario's timing as it lands, so an "
+            "interrupted bench resumes without re-timing finished "
+            "scenarios (deleted after a fully successful run)"
+        ),
+    )
+    p_bench.add_argument(
+        "--resume", metavar="JOURNAL",
+        help=(
+            "resume an interrupted --journal bench; pass the same "
+            "scenario/--quick/--repeats arguments as the original run"
+        ),
+    )
     p_bench.set_defaults(handler=_cmd_bench)
 
     p_report = sub.add_parser(
@@ -562,10 +800,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ParameterError, UnknownExperimentError, BenchError, ReportError) as error:
+    except (
+        ParameterError,
+        UnknownExperimentError,
+        BenchError,
+        ReportError,
+        JournalError,
+        OrchestrationError,
+        ChaosError,
+    ) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # A Ctrl-C outside the orchestrated section (no journal in
+        # play); orchestrated runs convert theirs to
+        # OrchestrationInterrupted and print a resume command first.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 __all__ = ["build_parser", "main"]

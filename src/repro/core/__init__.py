@@ -24,6 +24,7 @@ This package implements the adaptive controller of Section 3.3:
 """
 
 from repro.core.allocator import AllocationDecision, ProportionAllocator
+from repro.core.artifacts import DurableAppender, append_durable, write_atomic
 from repro.core.config import ControllerConfig
 from repro.core.driver import ControllerDriver, ControllerOverheadModel
 from repro.core.errors import AdmissionError, ControllerError, QualityException
@@ -44,6 +45,7 @@ __all__ = [
     "ControllerDriver",
     "ControllerError",
     "ControllerOverheadModel",
+    "DurableAppender",
     "EstimateResult",
     "FairShareSquish",
     "PeriodEstimator",
@@ -55,5 +57,7 @@ __all__ = [
     "ThreadClass",
     "ThreadSpec",
     "WeightedFairShareSquish",
+    "append_durable",
     "classify",
+    "write_atomic",
 ]

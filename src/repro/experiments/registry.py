@@ -35,6 +35,7 @@ and choices, so a spec can be driven identically from Python and from
 from __future__ import annotations
 
 import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
@@ -216,6 +217,23 @@ def _jsonable(value: Any) -> Any:
     if isinstance(value, list):
         return [_jsonable(v) for v in value]
     return value
+
+
+def point_key(params: Mapping[str, Any]) -> str:
+    """Canonical identity of one grid point's parameter assignment.
+
+    Sorted keys and compact separators make the key independent of
+    axis declaration order and whitespace, and ``_jsonable`` folds
+    tuples into lists so a point keyed before a JSON round-trip equals
+    the same point keyed after one.  The orchestration journal uses
+    this as the resume identity: a journaled key matches exactly the
+    points whose parameters are identical.
+    """
+    return json.dumps(
+        {name: _jsonable(value) for name, value in params.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 
 @dataclass(frozen=True)
@@ -416,4 +434,5 @@ __all__ = [
     "RegistryError",
     "UnknownExperimentError",
     "experiment",
+    "point_key",
 ]

@@ -99,11 +99,43 @@ def run_sweep(
     tasks = [(name, point, quick) for point in points]
 
     if jobs <= 1 or len(tasks) <= 1:
-        result_dicts = [_run_point(task) for task in tasks]
+        result_dicts: list[Optional[dict[str, Any]]] = [
+            _run_point(task) for task in tasks
+        ]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
             result_dicts = list(pool.map(_run_point, tasks))
 
+    return build_sweep_artifact(name, axes, points, result_dicts, quick=quick)
+
+
+def build_sweep_artifact(
+    name: str,
+    axes: Mapping[str, Sequence[Any]],
+    points: Sequence[Mapping[str, Any]],
+    results: "Sequence[Optional[dict[str, Any]]]",
+    *,
+    quick: bool = False,
+    errors: Optional[Mapping[int, dict[str, Any]]] = None,
+) -> dict[str, Any]:
+    """Merge per-point result dicts into the sweep artifact structure.
+
+    Shared by the in-process :func:`run_sweep` path and the journaled
+    orchestration runner so both produce byte-identical artifacts for
+    the same grid.  A point that permanently failed carries ``result:
+    None`` plus an ``error`` object from ``errors`` (keyed by point
+    index); all-success artifacts are byte-for-byte unchanged from the
+    pre-orchestration format.
+    """
+    merged: list[dict[str, Any]] = []
+    for index, (point, rd) in enumerate(zip(points, results)):
+        entry: dict[str, Any] = {
+            "params": {k: _jsonable(v) for k, v in point.items()},
+            "result": rd,
+        }
+        if errors is not None and index in errors:
+            entry["error"] = errors[index]
+        merged.append(entry)
     return {
         "schema_version": SWEEP_SCHEMA_VERSION,
         "repro_version": __version__,
@@ -114,10 +146,7 @@ def run_sweep(
             axis: [_jsonable(value) for value in values]
             for axis, values in axes.items()
         },
-        "points": [
-            {"params": {k: _jsonable(v) for k, v in point.items()}, "result": rd}
-            for point, rd in zip(points, result_dicts)
-        ],
+        "points": merged,
     }
 
 
@@ -128,6 +157,7 @@ def sweep_to_json(artifact: Mapping[str, Any], *, indent: Optional[int] = 2) -> 
 
 __all__ = [
     "SWEEP_SCHEMA_VERSION",
+    "build_sweep_artifact",
     "expand_grid",
     "run_sweep",
     "sweep_to_json",

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro._version import __version__
+from repro.core.artifacts import write_atomic
 from repro.faults import (
     CPU_FAIL,
     RUNAWAY_START,
@@ -330,9 +331,7 @@ def load_corpus(path: str) -> dict:
 def write_corpus(path: str, scenario: str = GOLDEN_SCENARIO) -> dict:
     """Regenerate the corpus of ``scenario`` and write it to ``path``."""
     corpus = compute_corpus(scenario)
-    with open(path, "w") as handle:
-        json.dump(corpus, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_atomic(path, json.dumps(corpus, indent=2, sort_keys=True) + "\n")
     return corpus
 
 

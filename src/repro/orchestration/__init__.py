@@ -1,0 +1,75 @@
+"""Crash-safe experiment orchestration.
+
+The harness-side counterpart of PR 8's simulated fault tolerance: the
+machinery that produces artifacts must itself survive killed workers,
+hangs, torn writes, and Ctrl-C without losing completed work or
+emitting a subtly different artifact on the second try.
+
+* :mod:`~repro.orchestration.journal` — the append-only, fsync'd
+  ``*.partial.jsonl`` run journal and its torn-tail-tolerant loader;
+* :mod:`~repro.orchestration.retry` — the failure taxonomy (crash,
+  timeout, corrupted-result, fingerprint-mismatch-on-retry) and the
+  capped, deterministically jittered backoff policy;
+* :mod:`~repro.orchestration.worker` — the subprocess task loop;
+* :mod:`~repro.orchestration.runner` — the coordinator:
+  :func:`~repro.orchestration.runner.orchestrate_sweep` (journaled,
+  resumable, byte-identical sweeps) and
+  :func:`~repro.orchestration.runner.run_journaled_serial` (the same
+  journal contract for ``bench``);
+* :mod:`~repro.orchestration.chaos` — seeded fault injection that
+  proves all of the above end-to-end.
+"""
+
+from repro.orchestration.chaos import ChaosError, ChaosPlan, tear_journal_tail
+from repro.orchestration.journal import (
+    JOURNAL_KIND,
+    JOURNAL_SCHEMA_VERSION,
+    Journal,
+    JournalEntry,
+    JournalError,
+    load_journal,
+    result_fingerprint,
+)
+from repro.orchestration.retry import (
+    CORRUPTED_RESULT,
+    CRASH,
+    FAILURE_KINDS,
+    FINGERPRINT_MISMATCH,
+    RetryPolicy,
+    TERMINAL_KINDS,
+    TIMEOUT,
+)
+from repro.orchestration.runner import (
+    OrchestrationError,
+    OrchestrationInterrupted,
+    PointOutcome,
+    SweepReport,
+    orchestrate_sweep,
+    run_journaled_serial,
+)
+
+__all__ = [
+    "CORRUPTED_RESULT",
+    "CRASH",
+    "ChaosError",
+    "ChaosPlan",
+    "FAILURE_KINDS",
+    "FINGERPRINT_MISMATCH",
+    "JOURNAL_KIND",
+    "JOURNAL_SCHEMA_VERSION",
+    "Journal",
+    "JournalEntry",
+    "JournalError",
+    "OrchestrationError",
+    "OrchestrationInterrupted",
+    "PointOutcome",
+    "RetryPolicy",
+    "SweepReport",
+    "TERMINAL_KINDS",
+    "TIMEOUT",
+    "load_journal",
+    "orchestrate_sweep",
+    "result_fingerprint",
+    "run_journaled_serial",
+    "tear_journal_tail",
+]

@@ -1,0 +1,137 @@
+"""Failure taxonomy and the deterministic retry/backoff policy.
+
+Every way a grid point can fail is named, because the remedies differ:
+
+* :data:`CRASH` — the worker process died (SIGKILL, OOM, segfault) or
+  the point raised an exception in the worker.  Transient by default;
+  retried up to the policy's budget.
+* :data:`TIMEOUT` — the point exceeded the per-point deadline and the
+  coordinator killed its worker.  Also retried: a hang can be a stuck
+  import lock or an unlucky scheduler preemption, not a property of
+  the point.
+* :data:`CORRUPTED_RESULT` — the worker returned a payload that fails
+  :meth:`~repro.analysis.results.ExperimentResult.from_dict`
+  validation (torn pickle, chaos-injected mutation).  Retried; the
+  corrupt payload's fingerprint is remembered for the next attempt.
+* :data:`FINGERPRINT_MISMATCH` — a retry produced a *valid* result
+  whose dispatch fingerprint disagrees with an earlier attempt of the
+  same point.  Terminal: the experiment is nondeterministic, and no
+  number of retries can tell which answer is right.  The point is
+  recorded as a FAILED row instead.
+
+Backoff between retries is capped exponential with **seeded,
+per-(point, attempt) deterministic jitter**: the delay is a pure
+function of ``(policy.seed, point key, attempt)``, so two runs of the
+same failing sweep retry on the same schedule, yet different points do
+not thundering-herd a shared resource on the same tick.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+#: Worker process death or in-worker exception.
+CRASH = "crash"
+
+#: Per-point deadline exceeded; the coordinator killed the worker.
+TIMEOUT = "timeout"
+
+#: The returned payload failed result-schema validation.
+CORRUPTED_RESULT = "corrupted-result"
+
+#: A retry's valid result disagrees with an earlier attempt.
+FINGERPRINT_MISMATCH = "fingerprint-mismatch-on-retry"
+
+#: Every failure kind, in taxonomy order.
+FAILURE_KINDS = (CRASH, TIMEOUT, CORRUPTED_RESULT, FINGERPRINT_MISMATCH)
+
+#: Kinds that must never be retried: more attempts cannot resolve them.
+TERMINAL_KINDS = frozenset({FINGERPRINT_MISMATCH})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runner reacts to failing points and dying workers.
+
+    ``max_retries`` counts attempts *beyond* the first, so the default
+    of 2 allows three attempts total.  ``timeout_s`` of ``None``
+    disables the per-point deadline.  ``max_worker_restarts`` bounds
+    how many unexpected worker deaths the pool absorbs by respawning
+    before it degrades to fewer workers instead.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+    timeout_s: Optional[float] = None
+    max_worker_restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative, got {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s cannot be negative, got {self.backoff_base_s}"
+            )
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s ({self.backoff_cap_s}) cannot be below "
+                f"backoff_base_s ({self.backoff_base_s})"
+            )
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts cannot be negative, got "
+                f"{self.max_worker_restarts}"
+            )
+
+    # ------------------------------------------------------------------
+    def should_retry(self, kind: str, failures: int) -> bool:
+        """May a point with ``failures`` failed attempts try again?
+
+        ``failures`` counts attempts already failed, so after the first
+        failure ``should_retry(kind, 1)`` gates the first retry.
+        """
+        if kind in TERMINAL_KINDS:
+            return False
+        return failures <= self.max_retries
+
+    def backoff_s(self, key: str, failures: int) -> float:
+        """Delay before the retry that follows failure number ``failures``.
+
+        Pure function of ``(seed, key, failures)``: the exponential
+        base ``backoff_base_s * 2**(failures - 1)`` is capped at
+        ``backoff_cap_s``, then jittered by a factor drawn from a
+        string-seeded :class:`random.Random` — string seeding hashes
+        via SHA-512 internally, so the draw is identical across
+        processes and interpreter launches regardless of
+        ``PYTHONHASHSEED``.
+        """
+        if failures < 1:
+            return 0.0
+        base = min(
+            self.backoff_base_s * (2.0 ** (failures - 1)), self.backoff_cap_s
+        )
+        if self.jitter <= 0 or base <= 0:
+            return base
+        draw = random.Random(f"{self.seed}|{key}|{failures}").random()
+        factor = 1.0 + self.jitter * (2.0 * draw - 1.0)
+        return min(base * factor, self.backoff_cap_s)
+
+
+__all__ = [
+    "CORRUPTED_RESULT",
+    "CRASH",
+    "FAILURE_KINDS",
+    "FINGERPRINT_MISMATCH",
+    "RetryPolicy",
+    "TERMINAL_KINDS",
+    "TIMEOUT",
+]

@@ -67,6 +67,7 @@ def build_baseline(findings: Sequence[Finding]) -> dict:
 
 
 def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    # repro-lint: disable=atomic-write -- committed ledger rewritten deliberately under version control; a torn write shows up as a git diff, not silent damage
     path.write_text(
         json.dumps(build_baseline(findings), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",

@@ -16,6 +16,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.staticcheck.atomicwrite import AtomicWriteChecker
 from repro.staticcheck.baseline import (
     DEFAULT_BASELINE_PATH,
     load_baseline,
@@ -43,6 +44,7 @@ def all_checkers(snapshot_path: Optional[Path] = None) -> list[Checker]:
         FloatOrderChecker(),
         WireFormatChecker(snapshot_path),
         ExperimentRegistryChecker(),
+        AtomicWriteChecker(),
     ]
 
 
@@ -133,6 +135,7 @@ def run_lint(args: argparse.Namespace) -> int:
 
     if args.update_wire_snapshot:
         payload = build_snapshot(project)
+        # repro-lint: disable=atomic-write -- committed ledger rewritten deliberately under version control; a torn write shows up as a git diff, not silent damage
         DEFAULT_SNAPSHOT_PATH.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
@@ -156,6 +159,7 @@ def run_lint(args: argparse.Namespace) -> int:
         if args.json == "-":
             print(report)
         else:
+            # repro-lint: disable=atomic-write -- one-shot diagnostic report for the caller that asked for it; nothing downstream trusts it to be intact
             Path(args.json).write_text(report + "\n", encoding="utf-8")
 
     if args.json != "-":

@@ -1,0 +1,40 @@
+"""Fixture: every way of writing a file without the atomic helper."""
+
+import io
+import json
+import os
+from pathlib import Path
+
+
+def truncating_write(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def keyword_mode_write(path, text):
+    with open(path, mode="a", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def exclusive_write(path, text):
+    with open(path, "x") as handle:
+        handle.write(text)
+
+
+def update_write(path, text):
+    with open(path, "r+") as handle:
+        handle.write(text)
+
+
+def fd_write(fd, text):
+    with os.fdopen(fd, "w") as handle:
+        handle.write(text)
+
+
+def io_write(path, text):
+    with io.open(path, "wt") as handle:
+        handle.write(text)
+
+
+def pathlib_write(path, text):
+    Path(path).write_text(text, encoding="utf-8")

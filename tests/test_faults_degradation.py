@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.faults import DegradationManager
 from repro.sched.rbs import ReservationScheduler
@@ -142,6 +144,123 @@ class TestBackoff:
         assert manager.pending_restorations() == 0
         assert kernel.scheduler.total_reserved_ppt() == 3_600
         # Backoff resets once everything is home.
+        assert manager._backoff_us == manager.readmit_backoff_us
+
+    def test_backoff_caps_and_holds_while_short(self):
+        """The doubled backoff saturates at max_backoff_us and stays
+        there — capacity flapping cannot push retries out forever."""
+        kernel = make_kernel(n_cpus=4)
+        for i in range(4):
+            reserve(kernel, f"w{i}", 900)
+        manager = DegradationManager(
+            kernel,
+            kernel.scheduler,
+            readmit_backoff_us=10_000,
+            max_backoff_us=40_000,
+        )
+        kernel.run_for(5_000)
+        kernel.fail_cpu(3)
+        kernel.fail_cpu(2)
+        kernel.fail_cpu(1)  # 3600 ppt against 1000: deep squish
+        kernel.recover_cpu(1)  # 2000 budget: still short by 1600
+        # Let many retries fire: 10k + 20k + 40k + 40k + 40k ...
+        kernel.run_for(400_000)
+        assert manager.pending_restorations() > 0
+        assert manager._backoff_us == 40_000  # capped, not 160k+
+        # Full recovery drains the queue and resets the backoff.
+        kernel.recover_cpu(2)
+        kernel.recover_cpu(3)
+        kernel.run_for(400_000)
+        assert manager.pending_restorations() == 0
+        assert kernel.scheduler.total_reserved_ppt() == 3_600
+        assert manager._backoff_us == 10_000
+
+    def test_recovery_while_backoff_pending_schedules_one_readmit(self):
+        """A second capacity recovery landing inside the backoff window
+        must not double-schedule the re-admission event (each thread is
+        restored exactly once)."""
+        kernel = make_kernel(n_cpus=3)
+        threads = [reserve(kernel, f"w{i}", 400) for i in range(6)]
+        manager = DegradationManager(kernel, kernel.scheduler)
+        kernel.run_for(5_000)
+        kernel.fail_cpu(2)
+        kernel.fail_cpu(1)  # 2400 ppt against 1000
+        assert manager.pending_restorations() == 6
+        kernel.recover_cpu(1)  # schedules readmit at now + backoff
+        assert manager._readmit_pending
+        kernel.run_for(manager.readmit_backoff_us // 4)
+        kernel.recover_cpu(2)  # second recovery inside the window
+        assert manager._readmit_pending
+        kernel.run_for(manager.readmit_backoff_us + 5_000)
+        # One readmit pass restored everything, once each.
+        restores = [a for a in manager.actions if a.action == "restore"]
+        assert sorted(a.thread for a in restores) == sorted(
+            t.name for t in threads
+        )
+        assert manager.pending_restorations() == 0
+        assert manager._backoff_us == manager.readmit_backoff_us
+        assert not manager._readmit_pending
+
+    def test_revoked_threads_readmit_most_valuable_first(self):
+        """With several revoked reservations, recovery re-admits in
+        descending original-value order — the thread that lost the most
+        gets back first."""
+        kernel = make_kernel(n_cpus=2)
+        small = reserve(kernel, "small", 600)
+        mid = reserve(kernel, "mid", 700)
+        big = reserve(kernel, "big", 700)
+        manager = DegradationManager(
+            kernel, kernel.scheduler, min_proportion_ppt=600
+        )
+        kernel.run_for(5_000)
+        kernel.fail_cpu(1)  # floors 3 x 600 = 1800 > 1000 -> revoke two
+        revokes = [a for a in manager.actions if a.action == "revoke"]
+        assert [a.thread for a in revokes] == ["small", "mid"]
+        assert kernel.scheduler.reservation(small) is None
+        assert kernel.scheduler.reservation(mid) is None
+
+        kernel.run_for(5_000)
+        kernel.recover_cpu(1)
+        kernel.run_for(manager.readmit_backoff_us + 5_000)
+        readmits = [a for a in manager.actions if a.action == "readmit"]
+        # mid lost 700, small lost 600: mid returns first.
+        assert [a.thread for a in readmits] == ["mid", "small"]
+        assert kernel.scheduler.reservation(mid).proportion_ppt == 700
+        assert kernel.scheduler.reservation(small).proportion_ppt == 600
+        assert kernel.scheduler.reservation(big).proportion_ppt == 700
+        assert manager.pending_restorations() == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ppts=st.lists(
+            st.integers(min_value=100, max_value=900), min_size=2, max_size=5
+        ),
+        recover_delay_us=st.integers(min_value=0, max_value=30_000),
+    )
+    def test_fail_recover_always_converges(self, ppts, recover_delay_us):
+        """Property: after any single fail/recover cycle the manager (a)
+        never leaves the budget oversubscribed while degraded and (b)
+        eventually restores every reservation exactly, resetting the
+        backoff."""
+        kernel = make_kernel(n_cpus=4)
+        threads = [
+            reserve(kernel, f"w{i}", ppt) for i, ppt in enumerate(ppts)
+        ]
+        manager = DegradationManager(kernel, kernel.scheduler)
+        kernel.run_for(2_000)
+        kernel.fail_cpu(3)
+        kernel.fail_cpu(2)
+        kernel.fail_cpu(1)
+        assert kernel.scheduler.total_reserved_ppt() <= manager.budget_ppt()
+        kernel.run_for(recover_delay_us)
+        kernel.recover_cpu(1)
+        kernel.run_for(recover_delay_us)
+        kernel.recover_cpu(2)
+        kernel.recover_cpu(3)
+        kernel.run_for(30 * manager.readmit_backoff_us)
+        assert manager.pending_restorations() == 0
+        for thread, ppt in zip(threads, ppts):
+            assert kernel.scheduler.reservation(thread).proportion_ppt == ppt
         assert manager._backoff_us == manager.readmit_backoff_us
 
     def test_constructor_validation(self):

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.staticcheck.atomicwrite import AtomicWriteChecker
 from repro.staticcheck.core import Project
 from repro.staticcheck.determinism import DeterminismChecker
 from repro.staticcheck.epoch import EpochContractChecker
@@ -177,6 +178,58 @@ def test_shipped_wire_snapshot_matches_tree():
 
     project = Project([PACKAGE_ROOT], display_root=REPO_ROOT)
     assert build_snapshot(project) == load_snapshot(DEFAULT_SNAPSHOT_PATH)
+
+
+# ----------------------------------------------------------------------
+# atomic-write
+# ----------------------------------------------------------------------
+def test_atomic_write_checker_flags_every_raw_write_shape():
+    findings = AtomicWriteChecker().check(fixture_project("atomicwrite_bad.py"))
+    by_symbol = {f.symbol for f in findings}
+    assert by_symbol == {
+        "truncating_write",
+        "keyword_mode_write",
+        "exclusive_write",
+        "update_write",
+        "fd_write",
+        "io_write",
+        "pathlib_write",
+    }
+    messages = "\n".join(f.message for f in findings)
+    assert "write_atomic" in messages
+    assert "append_durable" in messages
+
+
+def test_atomic_write_checker_accepts_reads_and_the_helpers():
+    findings = AtomicWriteChecker().check(
+        fixture_project("atomicwrite_clean.py")
+    )
+    assert findings == []
+
+
+def test_atomic_write_checker_exempts_the_helper_module():
+    """core/artifacts.py is the single intentional home of raw
+    write-mode open(); the checker must not flag its own escape hatch."""
+    artifacts = REPO_ROOT / "src" / "repro" / "core" / "artifacts.py"
+    findings = AtomicWriteChecker().check(
+        Project([artifacts], display_root=REPO_ROOT)
+    )
+    assert findings == []
+
+
+def test_atomic_write_shipped_tree_is_clean_or_suppressed():
+    """Every raw write left in the tree carries a justified suppression
+    (suppressions are applied by run_checks, so raw findings here must
+    each be covered by one)."""
+    from repro.staticcheck.cli import PACKAGE_ROOT
+
+    project = Project([PACKAGE_ROOT], display_root=REPO_ROOT)
+    modules = {m.rel_path: m for m in project.modules}
+    for finding in AtomicWriteChecker().check(project):
+        module = modules[finding.path]
+        suppression = module.suppression_for(finding.check, finding.line)
+        assert suppression is not None, finding.render()
+        assert suppression.justification, finding.render()
 
 
 # ----------------------------------------------------------------------
