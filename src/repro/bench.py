@@ -35,7 +35,8 @@ from repro._version import __version__
 from repro.core.artifacts import append_durable
 
 #: Version of the artifact layout written by :func:`bench_to_dict`.
-BENCH_SCHEMA_VERSION = 1
+#: v2: per-scenario migration counters (``migrations``/``migration_us``).
+BENCH_SCHEMA_VERSION = 2
 
 #: Default artifact filename (tracked in the repository root).
 DEFAULT_ARTIFACT = "BENCH_kernel.json"
@@ -319,6 +320,11 @@ class BenchResult:
     #: Thread lifetimes that ran to completion (exited threads) — the
     #: churn scenarios' headline count.
     threads_completed: int = 0
+    #: Cross-CPU thread moves observed (multiprocessor kernels) and the
+    #: virtual microseconds of migration penalty charged for them (only
+    #: non-zero on kernels built with a penalised CpuTopology).
+    migrations: int = 0
+    migration_us: int = 0
 
     @property
     def wall_s_min(self) -> float:
@@ -345,6 +351,8 @@ class BenchResult:
             "n_threads": self.n_threads,
             "engine": self.engine,
             "threads_completed": self.threads_completed,
+            "migrations": self.migrations,
+            "migration_us": self.migration_us,
         }
 
     @classmethod
@@ -364,6 +372,8 @@ class BenchResult:
             n_threads=int(payload.get("n_threads", 0)),
             engine=str(payload.get("engine", "")),
             threads_completed=int(payload.get("threads_completed", 0)),
+            migrations=int(payload.get("migrations", 0)),
+            migration_us=int(payload.get("migration_us", 0)),
         )
 
 
@@ -390,6 +400,8 @@ def run_scenario(
         result.n_threads = len(getattr(kernel, "threads", ()))
         result.engine = getattr(kernel, "engine", "")
         result.threads_completed = _completed_lifetimes(kernel)
+        result.migrations = getattr(kernel, "migrations", 0)
+        result.migration_us = getattr(kernel, "migration_us", 0)
     return result
 
 

@@ -66,6 +66,7 @@ from repro.experiments.response_curve import response_curve_experiment
 from repro.experiments.slo import slo_flash_crowd_experiment
 from repro.experiments.smp_scaling import run_smp_scaling, smp_scaling_experiment
 from repro.experiments.taxonomy import run_taxonomy, taxonomy_experiment
+from repro.experiments.topology import topology_placement_experiment
 
 __all__ = [
     "DuplicateExperimentError",
@@ -106,4 +107,5 @@ __all__ = [
     "slo_flash_crowd_experiment",
     "smp_scaling_experiment",
     "taxonomy_experiment",
+    "topology_placement_experiment",
 ]

@@ -50,11 +50,13 @@ from repro.faults import (
 from repro.monitor.watchdog import Watchdog
 from repro.sched.base import Scheduler
 from repro.sched.goodness import LinuxGoodnessScheduler
+from repro.sched.placement import CacheWarmPlacement
 from repro.sched.lottery import LotteryScheduler
 from repro.sched.priority import FixedPriorityScheduler
 from repro.sched.rbs import ReservationScheduler
 from repro.sched.round_robin import RoundRobinScheduler
 from repro.sim.kernel import Kernel
+from repro.sim.topology import CpuTopology
 from repro.workloads.arrivals import DeterministicArrivals, PoissonArrivals
 from repro.workloads.engine import (
     JobTemplate,
@@ -81,6 +83,9 @@ DEFAULT_CORPUS_PATH = "tests/golden/churn_smoke.json"
 #: Corpus location of the fault-dense scenario.
 FAULT_CORPUS_PATH = "tests/golden/fault_smoke.json"
 
+#: Corpus location of the topology-placement scenario.
+TOPOLOGY_CORPUS_PATH = "tests/golden/topology_placement.json"
+
 #: The five dispatch policies covered by the corpus.
 GOLDEN_SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
     "rbs": ReservationScheduler,
@@ -105,22 +110,13 @@ def _scheduler_factory(scheduler: str) -> Callable[[], Scheduler]:
     return factory
 
 
-def build_golden(
-    scheduler: str, engine: str, n_cpus: int
-) -> tuple[Kernel, WorkloadEngine]:
-    """Assemble (but do not run) one golden churn-scenario kernel.
+def _attach_churn_recipe(kernel: Kernel, n_cpus: int) -> WorkloadEngine:
+    """Attach the shared churn-smoke recipe to an assembled kernel.
 
-    The scenario is deliberately churn-dense for its 150 ms: a Poisson
-    stream of short think-y jobs, a deterministic stream of I/O-staged
-    jobs with per-index pins and (under the reservation scheduler) a
-    hard reservation, and a phase script that re-rates the Poisson
-    stream, kills jobs mid-run, re-pins the I/O stream and retimes the
-    short jobs' demand.  Thread parameters (priority, nice, tickets)
-    are varied so every baseline policy has something to order by.
+    Used verbatim by ``churn_smoke`` and, on a topology-enabled kernel,
+    by ``topology_placement`` — one recipe, so the two scenarios differ
+    only in the kernel (and placement policy) under test.
     """
-    factory = _scheduler_factory(scheduler)
-    kernel = Kernel(factory(), n_cpus=n_cpus, record_dispatches=True,
-                    engine=engine)
     churn = WorkloadEngine(kernel)
     short = JobTemplate(
         "short", total_cpu_us=3_000, burst_us=900, think_us=1_500,
@@ -151,7 +147,57 @@ def build_golden(
     script.retime(100_000, short, total_cpu_us=1_500)
     script.kill(120_000, s_hogs, count=1)
     churn.start(script)
-    return kernel, churn
+    return churn
+
+
+def build_golden(
+    scheduler: str, engine: str, n_cpus: int
+) -> tuple[Kernel, WorkloadEngine]:
+    """Assemble (but do not run) one golden churn-scenario kernel.
+
+    The scenario is deliberately churn-dense for its 150 ms: a Poisson
+    stream of short think-y jobs, a deterministic stream of I/O-staged
+    jobs with per-index pins and (under the reservation scheduler) a
+    hard reservation, and a phase script that re-rates the Poisson
+    stream, kills jobs mid-run, re-pins the I/O stream and retimes the
+    short jobs' demand.  Thread parameters (priority, nice, tickets)
+    are varied so every baseline policy has something to order by.
+    """
+    factory = _scheduler_factory(scheduler)
+    kernel = Kernel(factory(), n_cpus=n_cpus, record_dispatches=True,
+                    engine=engine)
+    return kernel, _attach_churn_recipe(kernel, n_cpus)
+
+
+def build_topology_golden(
+    scheduler: str, engine: str, n_cpus: int
+) -> tuple[Kernel, WorkloadEngine]:
+    """Assemble one golden cell of the topology-placement scenario.
+
+    The identical churn recipe as ``churn_smoke``, but on a kernel
+    built with a penalised :class:`CpuTopology` (``2x1x2`` — two
+    sockets of one two-way-SMT core — on the 4-CPU cells, trivial
+    ``1x1x1`` on the 1-CPU cells) and the cache-warm placement policy,
+    pinning migration-penalty charging and topology-aware placement
+    across every scheduler x engine x CPU-count combination.
+    """
+    factory = _scheduler_factory(scheduler)
+    if n_cpus == 1:
+        topology = CpuTopology.from_spec("1x1x1")
+    else:
+        topology = CpuTopology(
+            sockets=2,
+            cores_per_socket=n_cpus // 4 or 1,
+            threads_per_core=2,
+            smt_migration_us=25,
+            core_migration_us=80,
+            socket_migration_us=200,
+        )
+    sched_obj = factory()
+    sched_obj.placement = CacheWarmPlacement(topology)
+    kernel = Kernel(sched_obj, n_cpus=n_cpus, topology=topology,
+                    record_dispatches=True, engine=engine)
+    return kernel, _attach_churn_recipe(kernel, n_cpus)
 
 
 def build_fault_golden(
@@ -252,6 +298,16 @@ GOLDEN_SCENARIOS: dict[str, GoldenScenario] = {
         description=(
             "fault-dense churn: runaway quarantine, stall window, "
             "mid-run CPU failure and recovery"
+        ),
+    ),
+    "topology_placement": GoldenScenario(
+        name="topology_placement",
+        builder=build_topology_golden,
+        duration_us=GOLDEN_DURATION_US,
+        corpus_path=TOPOLOGY_CORPUS_PATH,
+        description=(
+            "churn on a sockets/SMT topology kernel: migration "
+            "penalties charged, cache-warm placement"
         ),
     ),
 }
@@ -386,8 +442,10 @@ __all__ = [
     "GOLDEN_SCHEDULERS",
     "GOLDEN_SCHEMA_VERSION",
     "GoldenScenario",
+    "TOPOLOGY_CORPUS_PATH",
     "build_fault_golden",
     "build_golden",
+    "build_topology_golden",
     "compute_corpus",
     "entry_key",
     "iter_matrix",

@@ -26,25 +26,33 @@ from repro.sched.base import LazyMinHeap, RunQueue, Scheduler
 from repro.sched.goodness import LinuxGoodnessScheduler
 from repro.sched.lottery import LotteryScheduler
 from repro.sched.placement import (
+    CacheWarmPlacement,
     LeastLoadedPlacement,
+    NumaPackPlacement,
     PinnedPlacement,
+    PipelineAffinityPlacement,
     PlacementPolicy,
+    pipeline_pairs,
 )
 from repro.sched.priority import FixedPriorityScheduler
 from repro.sched.rbs import Reservation, ReservationScheduler
 from repro.sched.round_robin import RoundRobinScheduler
 
 __all__ = [
+    "CacheWarmPlacement",
     "FixedPriorityScheduler",
     "LazyMinHeap",
     "LeastLoadedPlacement",
     "LinuxGoodnessScheduler",
     "LotteryScheduler",
+    "NumaPackPlacement",
     "PinnedPlacement",
+    "PipelineAffinityPlacement",
     "PlacementPolicy",
     "Reservation",
     "ReservationScheduler",
     "RoundRobinScheduler",
     "RunQueue",
     "Scheduler",
+    "pipeline_pairs",
 ]

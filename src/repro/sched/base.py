@@ -305,7 +305,11 @@ class Scheduler(ABC):
         "place_threads": (
             "writes the placement cache, a pure function of "
             "epoch-covered inputs (runnable set, weights, CPU count); "
-            "recomputing it under an unmoved epoch yields the same map"
+            "recomputing it under an unmoved epoch yields the same map. "
+            "Topology-aware policies additionally read thread.last_cpu, "
+            "which mutates between epoch bumps — they are required to be "
+            "stable under self-application (see repro/sched/placement.py), "
+            "so recomputation is still a fixed point"
         ),
     }
 

@@ -37,6 +37,15 @@ class CPUState:
         Dispatch overhead charged on this CPU (to no thread).
     dispatches:
         Number of times this CPU's dispatcher selected a thread.
+    migrations:
+        Dispatches of a thread whose previous dispatch ran on a
+        *different* CPU (counted on the destination CPU).  Tracked on
+        every multiprocessor kernel, with or without a topology model.
+    migration_us:
+        Virtual time charged on this CPU for migration penalties
+        (stolen — charged to no thread).  Non-zero only when the kernel
+        was built with a :class:`~repro.sim.topology.CpuTopology`
+        carrying non-zero per-domain penalties.
     overhead_accumulator:
         Fractional-microsecond remainder of the per-dispatch overhead
         model, kept per CPU so accounting is independent across CPUs.
@@ -54,6 +63,8 @@ class CPUState:
     idle_us: int = 0
     stolen_dispatch_us: int = 0
     dispatches: int = 0
+    migrations: int = 0
+    migration_us: int = 0
     overhead_accumulator: float = 0.0
     online: bool = True
     offline_us: int = 0

@@ -96,6 +96,7 @@ from repro.sim.requests import (
     Yield,
 )
 from repro.sim.thread import SimThread, ThreadBody, ThreadEnv, ThreadState
+from repro.sim.topology import CpuTopology
 from repro.sim.trace import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -130,6 +131,19 @@ class Kernel:
         Number of identical CPUs.  The default of 1 reproduces the
         paper's uniprocessor prototype exactly; larger values enable
         the dispatch-round SMP model described in the module docstring.
+    topology:
+        Optional :class:`~repro.sim.topology.CpuTopology` describing
+        the socket/core/SMT shape of the machine and its per-domain
+        migration penalties.  When given with the default ``n_cpus``,
+        the kernel adopts the topology's CPU count; an explicit
+        ``n_cpus`` must match it.  Every dispatch of a thread whose
+        previous dispatch ran on a different CPU then charges the
+        topology's migration penalty as stolen time (visible in the
+        dispatch log as a sixth tuple element, so both engines stay
+        bit-identical); a ``None`` topology — or one with all-zero
+        penalties — charges nothing and leaves the dispatch log in its
+        historical 5-tuple form.  Migration *counts* are tracked on
+        every multiprocessor kernel regardless.
     cpu:
         CPU cost model; controls the per-dispatch overhead charged as
         stolen time (shared by all CPUs — homogeneous SMP).
@@ -154,7 +168,9 @@ class Kernel:
         When ``True`` the kernel appends one
         ``(time_us, cpu, thread_name, outcome, consumed_us)`` tuple to
         :attr:`dispatch_log` per dispatch — the full scheduling order,
-        used by the determinism regression tests.
+        used by the determinism regression tests.  A dispatch that
+        charged a migration penalty appends the penalty as a sixth
+        element, making the cost part of the log's identity.
     engine:
         ``"horizon"`` (default) runs the run-to-horizon engine, which
         batches provably-identical quanta between transitions;
@@ -172,6 +188,7 @@ class Kernel:
         scheduler: "Scheduler",
         *,
         n_cpus: int = 1,
+        topology: Optional[CpuTopology] = None,
         cpu: Optional[CPUModel] = None,
         dispatch_interval_us: int = DEFAULT_DISPATCH_INTERVAL_US,
         tracer: Optional[Tracer] = None,
@@ -187,6 +204,14 @@ class Kernel:
             )
         if n_cpus < 1:
             raise ValueError(f"kernel needs at least one CPU, got {n_cpus}")
+        if topology is not None:
+            if n_cpus == 1:
+                n_cpus = topology.n_cpus
+            elif topology.n_cpus != n_cpus:
+                raise ValueError(
+                    f"topology {topology.spec()} has {topology.n_cpus} "
+                    f"CPU(s) but the kernel was given n_cpus={n_cpus}"
+                )
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {self.ENGINES}"
@@ -229,6 +254,17 @@ class Kernel:
         self._stolen_dispatch_us_total = 0
         self._dispatch_count_total = 0
         self._offline_us_total = 0
+        self._migrations_total = 0
+        self._migration_us_total = 0
+        #: Per-thread last-CPU tracking (and with it migration counting
+        #: and penalty charging) only matters on SMP kernels — a
+        #: uniprocessor thread can never migrate, so the paper's
+        #: original loop skips the bookkeeping entirely.
+        self.topology = topology
+        self._track_migrations = self.n_cpus > 1
+        self._migration_cost: Optional[Callable[[int, int], int]] = (
+            topology.migration_penalty_us if topology is not None else None
+        )
         #: Callbacks invoked as ``listener(now, online_cpu_count)``
         #: after every CPU failure or recovery (degradation policies).
         self._capacity_listeners: list[Callable[[int, int], None]] = []
@@ -239,9 +275,15 @@ class Kernel:
         #: horizon engine skips provably-identical recomputations).
         self._placement_epoch: Optional[int] = None
         self.stolen_controller_us = 0
-        self.dispatch_log: Optional[list[tuple[int, int, str, str, int]]] = (
-            [] if record_dispatches else None
-        )
+        #: Entries are ``(time, cpu, name, outcome, consumed)``; a
+        #: dispatch that charged a migration penalty appends it as a
+        #: sixth element (see the ``topology`` parameter).
+        self.dispatch_log: Optional[
+            list[
+                tuple[int, int, str, str, int]
+                | tuple[int, int, str, str, int, int]
+            ]
+        ] = ([] if record_dispatches else None)
         #: Local-time override used while an SMP dispatch round
         #: simulates one CPU's slice (None outside rounds).
         self._now_override: Optional[int] = None
@@ -312,9 +354,38 @@ class Kernel:
         return self._dispatch_count_total
 
     @property
+    def migrations(self) -> int:
+        """Cross-CPU dispatches across all CPUs (O(1)).
+
+        A dispatch counts as a migration when the thread's previous
+        dispatch ran on a different CPU.  Always zero on a
+        uniprocessor; tracked on every SMP kernel, topology or not.
+        """
+        return self._migrations_total
+
+    @property
+    def migration_us(self) -> int:
+        """Total migration penalty charged (CPU-microseconds; O(1)).
+
+        Stolen time — charged to no thread — so it participates in the
+        conservation identity through :attr:`stolen_us`.  Non-zero only
+        with a topology whose per-domain penalties are non-zero.
+        """
+        return self._migration_us_total
+
+    @property
     def stolen_us(self) -> int:
-        """Total CPU time consumed by kernel overhead (dispatch + controller)."""
-        return self.stolen_dispatch_us + self.stolen_controller_us
+        """Total CPU time consumed by kernel overhead.
+
+        Dispatch overhead + controller overhead + migration penalties;
+        the ``stolen`` term of the conservation identity
+        ``thread_cpu + idle + stolen + offline == n_cpus * now``.
+        """
+        return (
+            self.stolen_dispatch_us
+            + self.stolen_controller_us
+            + self._migration_us_total
+        )
 
     @property
     def offline_us(self) -> int:
@@ -978,6 +1049,30 @@ class Kernel:
         self._dispatch_count_total += 1
         now += self._charge_dispatch_overhead(cpu)
 
+        # Migration accounting: charged after the dispatch overhead and
+        # before the thread's slice, like the cache refill it models.
+        # The penalty is stolen time (charged to no thread); within a
+        # horizon batch or a replayed SMP round the thread provably
+        # stays on its CPU (placement is epoch-cached and eligible_on
+        # pins unpinned threads to their placed CPU), so replays charge
+        # zero — exactly as the quantum oracle's per-round re-dispatch.
+        migration_us = 0
+        if self._track_migrations:
+            last = thread.last_cpu
+            index = cpu.index
+            if last is not None and last != index:
+                cpu.migrations += 1
+                self._migrations_total += 1
+                cost_fn = self._migration_cost
+                if cost_fn is not None:
+                    migration_us = cost_fn(last, index)
+                    if migration_us > 0:
+                        self._tick(migration_us)
+                        now += migration_us
+                        cpu.migration_us += migration_us
+                        self._migration_us_total += migration_us
+            thread.last_cpu = index
+
         scheduler = self.scheduler
         accounting = thread.accounting
         thread.state = ThreadState.RUNNING
@@ -1063,9 +1158,23 @@ class Kernel:
         else:
             self._finish_dispatch(thread, outcome)
         if self.dispatch_log is not None:
-            self.dispatch_log.append(
-                (dispatch_start, cpu.index, thread.name, outcome, consumed)
-            )
+            if migration_us:
+                # The penalty shifted this (and every later) timestamp,
+                # so it must be part of the log's identity: entries for
+                # penalised dispatches grow a sixth element.  Penalty-
+                # free dispatches keep the historical 5-tuple form, so
+                # a zero-penalty run is byte-identical to a kernel that
+                # never heard of topology.
+                self.dispatch_log.append(
+                    (
+                        dispatch_start, cpu.index, thread.name, outcome,
+                        consumed, migration_us,
+                    )
+                )
+            else:
+                self.dispatch_log.append(
+                    (dispatch_start, cpu.index, thread.name, outcome, consumed)
+                )
         return outcome
 
     def _finish_dispatch(self, thread: SimThread, outcome: str) -> None:

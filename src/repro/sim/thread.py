@@ -178,6 +178,16 @@ class SimThread:
         self.state = ThreadState.NEW
         self.accounting = CpuAccounting()
         self.exit_status: Optional[int] = None
+        #: CPU index of this thread's most recent dispatch (``None``
+        #: until first dispatched).  Maintained by the kernel on
+        #: multiprocessor kernels: migration counters compare it to the
+        #: dispatching CPU, and the cache-warm placement policy prefers
+        #: it (then its SMT sibling, then its socket).  Not
+        #: pick-relevant on its own — placement policies that read it
+        #: must be *stable under self-application* (see
+        #: ``repro/sched/placement.py``), which keeps the cached
+        #: placement map valid while the scheduler epoch stands still.
+        self.last_cpu: Optional[int] = None
 
         #: Arbitrary per-scheduler state (each scheduler keys by its own name).
         self.sched_data: dict[str, Any] = {}

@@ -741,6 +741,13 @@ def dispatch_fingerprint(kernel: "Kernel") -> str:
     fingerprints iff their `(time, cpu, thread, outcome, consumed)`
     dispatch sequences are identical — the conformance check behind the
     golden-trace corpus and the engine-differential scenario tests.
+
+    Entries are hashed field-by-field (``|``-joined, ``;``-terminated),
+    so the historical 5-tuple entries hash to exactly the bytes they
+    always did, while a topology kernel's 6-tuple entries (migration
+    penalty appended) extend the digest rather than breaking it — a
+    zero-penalty run therefore fingerprints identically to a kernel
+    with no topology at all.
     """
     log = kernel.dispatch_log
     if log is None:
@@ -748,8 +755,9 @@ def dispatch_fingerprint(kernel: "Kernel") -> str:
             "dispatch fingerprint needs Kernel(record_dispatches=True)"
         )
     digest = hashlib.sha256()
-    for time_us, cpu, name, outcome, consumed in log:
-        digest.update(f"{time_us}|{cpu}|{name}|{outcome}|{consumed};".encode())
+    for entry in log:
+        digest.update("|".join(map(str, entry)).encode())
+        digest.update(b";")
     return digest.hexdigest()
 
 

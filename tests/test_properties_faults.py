@@ -36,7 +36,18 @@ from repro.faults import (
     FaultPlan,
 )
 from repro.monitor.watchdog import Watchdog
+from repro.sched.placement import (
+    CacheWarmPlacement,
+    LeastLoadedPlacement,
+    NumaPackPlacement,
+    PinnedPlacement,
+    PipelineAffinityPlacement,
+)
+from repro.sched.rbs import ReservationScheduler
+from repro.sim.kernel import Kernel
 from repro.sim.requests import Compute, Sleep
+from repro.sim.thread import SimThread
+from repro.sim.topology import CpuTopology
 from repro.system import build_real_rate_system
 
 from tests.test_properties_churn import (
@@ -242,4 +253,144 @@ def test_sensor_faults_engine_equivalence(sensors):
         )
     assert observations["quantum"] == observations["horizon"], (
         "sensor faults broke engine equivalence"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Placement / topology properties
+# ---------------------------------------------------------------------------
+#: Every placement policy, flat and topology-aware, built for the
+#: 8-CPU 2x2x2 topology used by the offline-safety property.
+_PLACEMENT_TOPO = CpuTopology.from_spec("2x2x2")
+_PLACEMENT_POLICIES = {
+    "least_loaded": lambda: LeastLoadedPlacement(),
+    "pinned": lambda: PinnedPlacement(),
+    "cache_warm": lambda: CacheWarmPlacement(_PLACEMENT_TOPO),
+    "numa_pack": lambda: NumaPackPlacement(_PLACEMENT_TOPO),
+    "pipeline": lambda: PipelineAffinityPlacement(
+        _PLACEMENT_TOPO, pairs=[("t0", "t1"), ("t2", "t3")]
+    ),
+}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    policy_name=st.sampled_from(sorted(_PLACEMENT_POLICIES)),
+    n_threads=st.integers(min_value=1, max_value=8),
+    online=st.sets(
+        st.integers(min_value=0, max_value=7), min_size=1, max_size=8
+    ),
+    pins=st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
+        min_size=8, max_size=8,
+    ),
+    last_cpus=st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=7)),
+        min_size=8, max_size=8,
+    ),
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=8, max_size=8
+    ),
+)
+def test_no_policy_ever_places_on_an_offline_cpu(
+    policy_name, n_threads, online, pins, last_cpus, weights
+):
+    """Whatever the pins, history and online subset, every policy maps
+    every thread to an *online* CPU — honouring online pins exactly and
+    sending offline pins to the lowest-numbered online CPU (the
+    kernel's drain target)."""
+    policy = _PLACEMENT_POLICIES[policy_name]()
+    threads = []
+    for i in range(n_threads):
+        thread = SimThread(f"t{i}")
+        thread.affinity = pins[i]  # direct set: offline pins allowed here
+        thread.last_cpu = last_cpus[i]
+        threads.append(thread)
+    online_tuple = tuple(sorted(online))
+    mapping = policy.assign(
+        threads, 8, lambda t: weights[int(t.name[1:])], online=online_tuple
+    )
+    assert set(mapping) == {t.tid for t in threads}
+    for thread in threads:
+        cpu = mapping[thread.tid]
+        assert cpu in online, (
+            f"{policy_name} placed {thread.name} on offline CPU {cpu}"
+        )
+        if thread.affinity is not None:
+            expected = (
+                thread.affinity
+                if thread.affinity in online
+                else online_tuple[0]
+            )
+            assert cpu == expected, (
+                f"{policy_name} broke the pin/fallback contract for "
+                f"{thread.name}: pin {thread.affinity} -> {cpu}"
+            )
+
+
+@pytest.mark.parametrize("policy_name", ["cache_warm", "numa_pack"])
+@settings(max_examples=8, deadline=None)
+@given(
+    faults=fault_specs,
+    pins=st.lists(
+        st.tuples(
+            st.integers(min_value=5_000, max_value=DURATION_US - 10_000),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=4),   # 4 == unpin
+        ),
+        min_size=0, max_size=3,
+    ),
+)
+def test_migration_penalties_conserve_under_hotplug(policy_name, faults, pins):
+    """Random CPU fail/recover windows plus random re-pins on a
+    penalised topology kernel: the extended conservation identity
+    (migration time charged as stolen) holds at every checkpoint and
+    both engines agree bit-for-bit, migration counters included."""
+    topo = CpuTopology(
+        sockets=2, cores_per_socket=1, threads_per_core=2,
+        smt_migration_us=25, core_migration_us=80, socket_migration_us=200,
+    )
+    observations = {}
+    for engine in ("quantum", "horizon"):
+        scheduler = ReservationScheduler()
+        scheduler.placement = (
+            CacheWarmPlacement(topo) if policy_name == "cache_warm"
+            else NumaPackPlacement(topo)
+        )
+        kernel = Kernel(
+            scheduler, n_cpus=4, topology=topo,
+            record_dispatches=True, engine=engine,
+        )
+        threads = []
+        for i in range(6):
+            thread = kernel.spawn(f"grp{i % 2}.{i}", thinker(1_500, 2_000))
+            threads.append(thread)
+        scheduler.set_reservation(threads[0], 200, 10_000)
+        injector = FaultInjector(kernel, fault_plan(4, 2, faults))
+        injector.install()
+        for at_us, victim, target in pins:
+            def repin(victim=victim, target=target):
+                thread = threads[victim % len(threads)]
+                if target == 4:
+                    thread.pin_to(None)
+                elif kernel.cpu_is_online(target):
+                    # An offline target would raise; both engines see
+                    # the same online set at the same virtual time, so
+                    # skipping is deterministic too.
+                    thread.pin_to(target)
+            kernel.events.schedule(at_us, repin, label="prop.repin")
+        for _ in range(3):
+            kernel.run_for(DURATION_US // 3)
+            assert_conserved_with_offline(kernel)
+        assert kernel.migration_us == sum(
+            c.migration_us for c in kernel.cpu_states
+        )
+        assert kernel.migrations == sum(
+            c.migrations for c in kernel.cpu_states
+        )
+        observations[engine] = (
+            observe(kernel), kernel.migrations, kernel.migration_us
+        )
+    assert observations["quantum"] == observations["horizon"], (
+        "migration penalties broke engine equivalence under hotplug"
     )
